@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Compiler-throughput microbenchmarks (google-benchmark): time to
+ * compile compressed UCCSD programs with Merge-to-Root (including
+ * the hierarchical layout) vs SABRE routing of chain circuits.
+ * The paper's complexity claim: MtR is O(n * #strings), so compile
+ * time should scale linearly in program size and sit far below the
+ * general-purpose router.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "ansatz/compression.hh"
+#include "common/logging.hh"
+#include "ansatz/uccsd.hh"
+#include "chem/molecules.hh"
+#include "compiler/chain_synthesis.hh"
+#include "compiler/merge_to_root.hh"
+#include "compiler/sabre.hh"
+#include "ferm/hamiltonian.hh"
+
+using namespace qcc;
+
+namespace {
+
+struct Prepared
+{
+    Ansatz ansatz;
+    Circuit chain;
+};
+
+/** Build the 50%-compressed program for one catalog molecule. */
+const Prepared &
+prepared(const std::string &name)
+{
+    static std::map<std::string, Prepared> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        setVerbose(false);
+        const auto &entry = benchmarkMolecule(name);
+        MolecularProblem prob =
+            buildMolecularProblem(entry, entry.equilibriumBond);
+        Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
+        CompressedAnsatz comp =
+            compressAnsatz(full, prob.hamiltonian, 0.5);
+        std::vector<double> zeros(comp.ansatz.nParams, 0.0);
+        Prepared p{comp.ansatz,
+                   synthesizeChainCircuit(comp.ansatz, zeros, true)};
+        it = cache.emplace(name, std::move(p)).first;
+    }
+    return it->second;
+}
+
+void
+benchMtr(benchmark::State &state, const std::string &name)
+{
+    const Prepared &p = prepared(name);
+    XTree tree = makeXTree(17);
+    std::vector<double> zeros(p.ansatz.nParams, 0.0);
+    for (auto _ : state) {
+        MtrResult r = mergeToRootCompile(p.ansatz, zeros, tree);
+        benchmark::DoNotOptimize(r.swapCount);
+    }
+    state.counters["strings"] = double(p.ansatz.numStrings());
+}
+
+void
+benchSabre(benchmark::State &state, const std::string &name)
+{
+    const Prepared &p = prepared(name);
+    XTree tree = makeXTree(17);
+    for (auto _ : state) {
+        SabreResult r = sabreCompile(
+            p.chain, tree.graph,
+            Layout::identity(p.chain.numQubits(), 17));
+        benchmark::DoNotOptimize(r.swapCount);
+    }
+    state.counters["gates"] = double(p.chain.size());
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchMtr, LiH, std::string("LiH"));
+BENCHMARK_CAPTURE(benchMtr, NaH, std::string("NaH"));
+BENCHMARK_CAPTURE(benchMtr, BeH2, std::string("BeH2"));
+BENCHMARK_CAPTURE(benchSabre, LiH, std::string("LiH"));
+BENCHMARK_CAPTURE(benchSabre, NaH, std::string("NaH"));
+BENCHMARK_CAPTURE(benchSabre, BeH2, std::string("BeH2"));
+
+BENCHMARK_MAIN();

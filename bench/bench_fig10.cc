@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 10 reproduction: noisy VQE case studies on LiH and NaH
+ * with a depolarizing error model (CNOT error rate 1e-4). The
+ * ansatz circuits are chain-synthesized and executed on the
+ * density-matrix simulator.
+ *
+ * Quick mode optimizes parameters on the noise-free objective and
+ * evaluates them once under noise (minutes); QCC_FULL=1 optimizes
+ * directly on the noisy objective with SPSA over denser bond grids,
+ * which is the paper's actual protocol and costs CPU-hours.
+ */
+
+#include <cstdio>
+
+#include "ansatz/compression.hh"
+#include "ansatz/uccsd.hh"
+#include "bench_util.hh"
+#include "chem/molecules.hh"
+#include "ferm/hamiltonian.hh"
+#include "sim/lanczos.hh"
+#include "vqe/vqe.hh"
+
+using namespace qcc;
+using namespace qccbench;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 10: noisy VQE case studies (LiH, NaH), "
+           "CNOT depolarizing error 1e-4");
+    if (!fullMode())
+        std::printf("quick mode: noisy evaluation at the noise-free "
+                    "optimum (QCC_FULL=1 for noisy SPSA)\n");
+
+    const std::vector<double> ratios = {0.1, 0.3, 0.5, 0.7, 0.9};
+    NoiseModel noise = NoiseModel::paperDefault();
+
+    struct Config
+    {
+        const char *name;
+        int bondPoints;
+    };
+    std::vector<Config> configs =
+        fullMode() ? std::vector<Config>{{"LiH", 5}, {"NaH", 3}}
+                   : std::vector<Config>{{"LiH", 3}, {"NaH", 1}};
+
+    for (const auto &cfg : configs) {
+        const auto &entry = benchmarkMolecule(cfg.name);
+        std::printf("\n=== %s ===\n", cfg.name);
+        std::printf("%-7s %12s", "bond(A)", "GroundState");
+        for (double r : ratios)
+            std::printf("   noisy%3.0f%%", 100 * r);
+        std::printf("\n");
+
+        for (int bp = 0; bp < cfg.bondPoints; ++bp) {
+            double bond = cfg.bondPoints == 1
+                ? entry.equilibriumBond
+                : entry.sweepLo +
+                    (entry.sweepHi - entry.sweepLo) * bp /
+                        double(cfg.bondPoints - 1);
+            MolecularProblem prob =
+                buildMolecularProblem(entry, bond);
+            double exact = lanczosGroundEnergy(prob.hamiltonian);
+            Ansatz full =
+                buildUccsd(prob.nSpatial, prob.nElectrons);
+
+            std::printf("%-7.2f %12.5f", bond, exact);
+            for (double ratio : ratios) {
+                CompressedAnsatz comp =
+                    compressAnsatz(full, prob.hamiltonian, ratio);
+                double energy;
+                if (fullMode()) {
+                    VqeOptions o;
+                    o.spsaIter = 200;
+                    energy = runVqeNoisy(prob.hamiltonian,
+                                         comp.ansatz, noise, o)
+                                 .energy;
+                } else {
+                    VqeResult clean =
+                        runVqe(prob.hamiltonian, comp.ansatz);
+                    energy = ansatzEnergyNoisy(prob.hamiltonian,
+                                               comp.ansatz,
+                                               clean.params, noise);
+                }
+                std::printf(" %11.5f", energy);
+            }
+            std::printf("\n");
+        }
+    }
+
+    rule('=');
+    std::printf("expected shape: noisy energies track the exact "
+                "landscape; the error floor reflects the\n"
+                "parameter-count vs gate-noise trade-off of "
+                "Section VI-D (more parameters help until the\n"
+                "added CNOT noise masks them).\n");
+    return 0;
+}

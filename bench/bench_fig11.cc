@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 11 reproduction: fabrication yield of XTree17Q vs Grid17Q
+ * as a function of fabrication precision. The paper's x-axis
+ * (0.2-0.6 GHz) maps to per-qubit frequency sigma through the
+ * documented calibration constant; yield is the collision-free
+ * fraction of Monte-Carlo fabricated devices under the seven-
+ * condition frequency-collision model with CR straddling.
+ */
+
+#include <cstdio>
+
+#include "arch/grid.hh"
+#include "arch/xtree.hh"
+#include "arch/yield.hh"
+#include "bench_util.hh"
+
+using namespace qcc;
+using namespace qccbench;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 11: yield rate, XTree17Q vs Grid17Q");
+
+    const int samples = fullMode() ? 200000 : 20000;
+
+    XTree tree = makeXTree(17);
+    CouplingGraph grid = makeGrid17Q();
+    auto fTree = allocateFrequencies(tree.graph);
+    auto fGrid = allocateFrequencies(grid);
+
+    std::printf("couplers: XTree17Q = %zu, Grid17Q = %zu\n\n",
+                tree.graph.numEdges(), grid.numEdges());
+    std::printf("%-22s %12s %12s %8s\n", "precision (GHz)",
+                "XTree17Q", "Grid17Q", "ratio");
+    rule();
+
+    double ratioAccum = 0.0;
+    int ratioCount = 0;
+    for (double precision : {0.2, 0.3, 0.4, 0.5, 0.6}) {
+        double sigma = precision * paperPrecisionToSigma;
+        Rng r1(17), r2(17);
+        double yt = simulateYield(tree.graph, fTree, sigma, samples,
+                                  r1);
+        double yg =
+            simulateYield(grid, fGrid, sigma, samples, r2);
+        double ratio = yg > 0 ? yt / yg : 0.0;
+        std::printf("%-22.1f %12.5f %12.5f %7.1fx\n", precision, yt,
+                    yg, ratio);
+        if (yg > 0) {
+            ratioAccum += ratio;
+            ++ratioCount;
+        }
+    }
+    rule();
+    std::printf("mean XTree/Grid yield ratio: %.1fx   "
+                "(paper: ~8x)\n",
+                ratioCount ? ratioAccum / ratioCount : 0.0);
+    return 0;
+}

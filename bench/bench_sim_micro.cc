@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Simulator-kernel microbenchmarks (google-benchmark): the direct
+ * O(2^n) Pauli-rotation kernel vs executing the equivalent
+ * basis+CNOT-chain gate circuit, plus Hamiltonian expectation
+ * evaluation — the primitives dominating VQE wall time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "chem/molecules.hh"
+#include "common/logging.hh"
+#include "compiler/chain_synthesis.hh"
+#include "ferm/hamiltonian.hh"
+#include "sim/statevector.hh"
+
+using namespace qcc;
+
+namespace {
+
+PauliString
+denseString(unsigned n)
+{
+    PauliString p(n);
+    for (unsigned q = 0; q < n; ++q)
+        p.setOp(q, q % 2 ? PauliOp::X : PauliOp::Z);
+    return p;
+}
+
+void
+benchDirectRotation(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    PauliString p = denseString(n);
+    Statevector sv(n);
+    for (auto _ : state) {
+        sv.applyPauliRotation(0.1, p);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetComplexityN(int64_t(1) << n);
+}
+
+void
+benchGateDecomposition(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    PauliString p = denseString(n);
+    Circuit c = pauliRotationChain(p, 0.1, n);
+    Statevector sv(n);
+    for (auto _ : state) {
+        sv.applyCircuit(c);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetComplexityN(int64_t(1) << n);
+}
+
+void
+benchLiHEnergy(benchmark::State &state)
+{
+    setVerbose(false);
+    static MolecularProblem prob =
+        buildMolecularProblem(benchmarkMolecule("LiH"), 1.6);
+    Statevector sv(prob.nQubits, 0b001001);
+    for (auto _ : state) {
+        double e = sv.expectation(prob.hamiltonian);
+        benchmark::DoNotOptimize(e);
+    }
+    state.counters["terms"] = double(prob.hamiltonian.numTerms());
+}
+
+} // namespace
+
+BENCHMARK(benchDirectRotation)->DenseRange(8, 16, 4);
+BENCHMARK(benchGateDecomposition)->DenseRange(8, 16, 4);
+BENCHMARK(benchLiHEnergy);
+
+BENCHMARK_MAIN();

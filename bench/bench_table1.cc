@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table I reproduction: benchmark molecules and their original full
+ * UCCSD cost — qubit count, Pauli string count, parameter count, and
+ * chain-synthesized gate/CNOT counts. Runs the real chemistry
+ * pipeline (STO-3G -> RHF -> active space) for the qubit counts and
+ * the real UCCSD generator for the circuit costs.
+ */
+
+#include <cstdio>
+
+#include "ansatz/uccsd.hh"
+#include "bench_util.hh"
+#include "chem/molecules.hh"
+#include "compiler/chain_synthesis.hh"
+#include "ferm/hamiltonian.hh"
+
+using namespace qcc;
+using namespace qccbench;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Table I: benchmark molecules and their original cost");
+
+    std::printf("%-6s %9s %10s %10s %18s\n", "Mol", "# Qubits",
+                "# Pauli", "# Param", "# Gates (CNOTs)");
+    rule();
+
+    for (const auto &entry : benchmarkMolecules()) {
+        MolecularProblem prob =
+            buildMolecularProblem(entry, entry.equilibriumBond);
+        Ansatz a = buildUccsd(prob.nSpatial, prob.nElectrons);
+        std::vector<double> zeros(a.nParams, 0.0);
+        Circuit c = synthesizeChainCircuit(a, zeros, true);
+        std::printf("%-6s %9u %10zu %10u %11zu (%zu)\n",
+                    entry.name.c_str(), prob.nQubits, a.numStrings(),
+                    a.nParams, c.totalGates(), c.cnotCount());
+    }
+    rule();
+    std::printf("paper reference rows: H2 4/12/3/150(56), "
+                "LiH 6/40/8/610(280), NaH 8/84/15/1476(768),\n"
+                "HF 10/144/24/2856(1616), BeH2 12/640/92/13704"
+                "(8064), H2O 12/640/92/13704(8064),\n"
+                "BH3 14/1488/204/34280(21072), NH3 14/1488/204/"
+                "34280(21072), CH4 16/2688/360/66312(42368)\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: quick/full profile
+ * selection (QCC_FULL=1 environment variable) and table formatting.
+ * Every bench prints the rows of the paper table/figure it
+ * regenerates; quick mode trims molecule sizes and Monte-Carlo /
+ * optimizer budgets so the whole suite runs in minutes on a laptop,
+ * while full mode matches the paper's scale.
+ */
+
+#ifndef QCC_BENCH_BENCH_UTIL_HH
+#define QCC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace qccbench {
+
+/** True when QCC_FULL=1 requests the paper-scale sweep. */
+inline bool
+fullMode()
+{
+    const char *env = std::getenv("QCC_FULL");
+    return env && std::string(env) == "1";
+}
+
+/** Print a separator line. */
+inline void
+rule(char c = '-', int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar(c);
+    std::putchar('\n');
+}
+
+/** Bench banner with mode note. */
+inline void
+banner(const std::string &title)
+{
+    rule('=');
+    std::printf("%s  [%s mode]\n", title.c_str(),
+                fullMode() ? "full" : "quick");
+    rule('=');
+}
+
+} // namespace qccbench
+
+#endif // QCC_BENCH_BENCH_UTIL_HH

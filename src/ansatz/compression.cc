@@ -1,0 +1,81 @@
+#include "ansatz/compression.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ansatz/importance.hh"
+#include "common/logging.hh"
+
+namespace qcc {
+
+Ansatz
+selectParameters(const Ansatz &full, const std::vector<unsigned> &params)
+{
+    Ansatz out;
+    out.nQubits = full.nQubits;
+    out.hfMask = full.hfMask;
+    out.nParams = unsigned(params.size());
+
+    std::vector<int> newIndex(full.nParams, -1);
+    for (size_t k = 0; k < params.size(); ++k) {
+        if (params[k] >= full.nParams)
+            panic("selectParameters: parameter out of range");
+        newIndex[params[k]] = int(k);
+        out.excitations.push_back(full.excitations[params[k]]);
+    }
+
+    // Emit rotations grouped by new parameter order, preserving the
+    // relative order of strings within one parameter.
+    for (unsigned k = 0; k < params.size(); ++k) {
+        for (const auto &r : full.rotations) {
+            if (r.param == params[k])
+                out.rotations.push_back({k, r.coeff, r.string});
+        }
+    }
+    return out;
+}
+
+CompressedAnsatz
+compressAnsatz(const Ansatz &full, const PauliSum &h, double ratio)
+{
+    if (ratio <= 0.0 || ratio > 1.0)
+        fatal("compressAnsatz: ratio must be in (0, 1]");
+
+    CompressedAnsatz out;
+    out.importance = parameterImportance(full, h);
+
+    const unsigned keep =
+        unsigned(std::ceil(ratio * double(full.nParams)));
+
+    std::vector<unsigned> order(full.nParams);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+                         return out.importance[a] > out.importance[b];
+                     });
+    order.resize(std::min<size_t>(keep, order.size()));
+
+    out.keptParams = order;
+    out.ansatz = selectParameters(full, order);
+    return out;
+}
+
+CompressedAnsatz
+randomCompress(const Ansatz &full, double ratio, Rng &rng)
+{
+    if (ratio <= 0.0 || ratio > 1.0)
+        fatal("randomCompress: ratio must be in (0, 1]");
+
+    const unsigned keep =
+        unsigned(std::ceil(ratio * double(full.nParams)));
+    std::vector<size_t> pick = rng.choose(full.nParams, keep);
+    std::sort(pick.begin(), pick.end()); // original program order
+
+    CompressedAnsatz out;
+    out.keptParams.assign(pick.begin(), pick.end());
+    out.ansatz = selectParameters(full, out.keptParams);
+    return out;
+}
+
+} // namespace qcc

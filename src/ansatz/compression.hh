@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hardware-friendly ansatz construction (Section III-B): keep the top
+ * ceil(ratio * K) parameters by importance and order their Pauli
+ * string simulation circuits by decreasing importance, which improves
+ * qubit locality for the compiler. A random-selection baseline
+ * reproduces the paper's "Rand. 50%" configuration.
+ */
+
+#ifndef QCC_ANSATZ_COMPRESSION_HH
+#define QCC_ANSATZ_COMPRESSION_HH
+
+#include <vector>
+
+#include "ansatz/uccsd.hh"
+#include "common/rng.hh"
+#include "pauli/pauli_sum.hh"
+
+namespace qcc {
+
+/** A compressed ansatz plus selection bookkeeping. */
+struct CompressedAnsatz
+{
+    Ansatz ansatz;
+    /** Original parameter indices kept, in new-parameter order. */
+    std::vector<unsigned> keptParams;
+    /** Importance of every original parameter. */
+    std::vector<double> importance;
+};
+
+/**
+ * Importance-based compression at the given ratio (0 < ratio <= 1).
+ * Kept parameters are emitted in importance-decreasing order.
+ */
+CompressedAnsatz compressAnsatz(const Ansatz &full, const PauliSum &h,
+                                double ratio);
+
+/**
+ * Same selection size but uniformly random parameters, original
+ * program order (the paper's random baseline).
+ */
+CompressedAnsatz randomCompress(const Ansatz &full, double ratio,
+                                Rng &rng);
+
+/**
+ * Rebuild an ansatz containing exactly the given original parameters
+ * in the given order (helper shared by both strategies, exposed for
+ * ablation studies such as unordered selections).
+ */
+Ansatz selectParameters(const Ansatz &full,
+                        const std::vector<unsigned> &params);
+
+} // namespace qcc
+
+#endif // QCC_ANSATZ_COMPRESSION_HH

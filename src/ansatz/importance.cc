@@ -1,0 +1,42 @@
+#include "ansatz/importance.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+double
+stringImportance(const PauliString &pa, const PauliSum &h)
+{
+    double score = 0.0;
+    for (const auto &term : h.terms()) {
+        unsigned d = importanceDecay(pa, term.string);
+        score += std::ldexp(std::abs(term.coeff), -int(d));
+    }
+    return score;
+}
+
+std::vector<double>
+stringScores(const Ansatz &ansatz, const PauliSum &h)
+{
+    if (h.numQubits() != ansatz.nQubits)
+        panic("stringScores: qubit count mismatch");
+    std::vector<double> scores;
+    scores.reserve(ansatz.rotations.size());
+    for (const auto &r : ansatz.rotations)
+        scores.push_back(stringImportance(r.string, h));
+    return scores;
+}
+
+std::vector<double>
+parameterImportance(const Ansatz &ansatz, const PauliSum &h)
+{
+    std::vector<double> scores = stringScores(ansatz, h);
+    std::vector<double> imp(ansatz.nParams, 0.0);
+    for (size_t j = 0; j < ansatz.rotations.size(); ++j)
+        imp[ansatz.rotations[j].param] += scores[j];
+    return imp;
+}
+
+} // namespace qcc

@@ -1,0 +1,148 @@
+#include "ansatz/uccsd.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "ferm/fermion_op.hh"
+#include "ferm/hamiltonian.hh"
+#include "ferm/jordan_wigner.hh"
+
+namespace qcc {
+
+std::string
+Excitation::str() const
+{
+    char buf[96];
+    if (kind == Kind::Single) {
+        std::snprintf(buf, sizeof(buf), "single %u->%u", so[0], so[1]);
+    } else {
+        std::snprintf(buf, sizeof(buf), "double (%u,%u)->(%u,%u)",
+                      so[0], so[1], so[2], so[3]);
+    }
+    return buf;
+}
+
+std::vector<PauliString>
+Ansatz::strings() const
+{
+    std::vector<PauliString> out;
+    out.reserve(rotations.size());
+    for (const auto &r : rotations)
+        out.push_back(r.string);
+    return out;
+}
+
+namespace {
+
+/**
+ * Append the rotations of one excitation generator. The Hermitian
+ * generator is G = -i (T - T+); exp(theta (T - T+)) = exp(i theta G)
+ * and the Pauli terms of G mutually commute, so the rotation list
+ * implements the excitation exactly.
+ */
+void
+appendGenerator(Ansatz &a, const FermionOp &t, unsigned param)
+{
+    FermionOp antiHermitian = t;
+    FermionOp dag = t.adjoint();
+    dag.scale(-1.0);
+    antiHermitian.add(dag);
+
+    PauliSum g = jordanWigner(antiHermitian);
+    g.scale(std::complex<double>(0.0, -1.0)); // G = -i (T - T+)
+    g.simplify();
+    if (g.maxImagCoeff() > 1e-9)
+        panic("buildUccsd: generator not Hermitian after JW");
+
+    for (const auto &term : g.terms())
+        a.rotations.push_back({param, term.coeff.real(), term.string});
+}
+
+} // namespace
+
+Ansatz
+buildUccsd(unsigned n_spatial, unsigned n_electrons)
+{
+    if (n_electrons % 2)
+        fatal("buildUccsd: open shell not supported");
+    const unsigned nOcc = n_electrons / 2;
+    const unsigned nVirt = n_spatial - nOcc;
+    const unsigned nso = 2 * n_spatial;
+
+    Ansatz a;
+    a.nQubits = nso;
+    a.hfMask = hartreeFockMask(n_spatial, n_electrons);
+
+    auto so = [&](unsigned spatial, int spin) {
+        return spatial + (spin ? n_spatial : 0);
+    };
+
+    unsigned param = 0;
+
+    // Singles: occupied -> virtual within each spin block.
+    for (int spin = 0; spin < 2; ++spin) {
+        for (unsigned i = 0; i < nOcc; ++i) {
+            for (unsigned v = 0; v < nVirt; ++v) {
+                unsigned iSo = so(i, spin);
+                unsigned aSo = so(nOcc + v, spin);
+                FermionOp t(nso);
+                t.add(1.0, {{aSo, true}, {iSo, false}});
+                appendGenerator(a, t, param);
+                a.excitations.push_back({Excitation::Kind::Single,
+                                         {iSo, aSo, 0, 0}});
+                ++param;
+            }
+        }
+    }
+
+    // Same-spin doubles: (i<j) -> (a<b) within one spin block.
+    for (int spin = 0; spin < 2; ++spin) {
+        for (unsigned i = 0; i < nOcc; ++i) {
+        for (unsigned j = i + 1; j < nOcc; ++j) {
+            for (unsigned va = 0; va < nVirt; ++va) {
+            for (unsigned vb = va + 1; vb < nVirt; ++vb) {
+                unsigned iSo = so(i, spin), jSo = so(j, spin);
+                unsigned aSo = so(nOcc + va, spin);
+                unsigned bSo = so(nOcc + vb, spin);
+                FermionOp t(nso);
+                t.add(1.0, {{aSo, true},
+                            {bSo, true},
+                            {jSo, false},
+                            {iSo, false}});
+                appendGenerator(a, t, param);
+                a.excitations.push_back({Excitation::Kind::Double,
+                                         {iSo, jSo, aSo, bSo}});
+                ++param;
+            }
+            }
+        }
+        }
+    }
+
+    // Opposite-spin doubles: (i_alpha, j_beta) -> (a_alpha, b_beta).
+    for (unsigned i = 0; i < nOcc; ++i) {
+    for (unsigned j = 0; j < nOcc; ++j) {
+        for (unsigned va = 0; va < nVirt; ++va) {
+        for (unsigned vb = 0; vb < nVirt; ++vb) {
+            unsigned iSo = so(i, 0), jSo = so(j, 1);
+            unsigned aSo = so(nOcc + va, 0);
+            unsigned bSo = so(nOcc + vb, 1);
+            FermionOp t(nso);
+            t.add(1.0, {{aSo, true},
+                        {bSo, true},
+                        {jSo, false},
+                        {iSo, false}});
+            appendGenerator(a, t, param);
+            a.excitations.push_back({Excitation::Kind::Double,
+                                     {iSo, jSo, aSo, bSo}});
+            ++param;
+        }
+        }
+    }
+    }
+
+    a.nParams = param;
+    return a;
+}
+
+} // namespace qcc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * UCCSD ansatz generation (Section II-C). The ansatz is represented
+ * in the paper's Pauli-string IR: an ordered list of parameterized
+ * Pauli rotations exp(i theta_k c_j P_j), where each parameter k is a
+ * spin-orbital excitation amplitude shared by 2 (singles) or 8
+ * (doubles) strings.
+ */
+
+#ifndef QCC_ANSATZ_UCCSD_HH
+#define QCC_ANSATZ_UCCSD_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pauli/pauli_sum.hh"
+
+namespace qcc {
+
+/** One parameterized rotation exp(i theta_param * coeff * string). */
+struct PauliRotation
+{
+    unsigned param;     ///< parameter index
+    double coeff;       ///< fixed Pauli coefficient c_j
+    PauliString string; ///< the Pauli string P_j
+};
+
+/** Metadata for one excitation (one parameter). */
+struct Excitation
+{
+    enum class Kind { Single, Double };
+    Kind kind;
+    /** Spin-orbital indices: {i, a, 0, 0} or {i, j, a, b}. */
+    std::array<unsigned, 4> so;
+
+    std::string str() const;
+};
+
+/** A Pauli-string-IR ansatz program. */
+struct Ansatz
+{
+    unsigned nQubits = 0;
+    unsigned nParams = 0;
+    uint64_t hfMask = 0; ///< Hartree-Fock occupation bitmask
+    std::vector<PauliRotation> rotations;  ///< program order
+    std::vector<Excitation> excitations;   ///< one per parameter
+
+    /** Distinct Pauli strings, program order. */
+    std::vector<PauliString> strings() const;
+
+    /** Total Pauli string count (the paper's "# of Pauli"). */
+    size_t numStrings() const { return rotations.size(); }
+};
+
+/**
+ * Build the full UCCSD ansatz for an active space with n_spatial
+ * orbitals and n_electrons electrons, block-spin Jordan-Wigner
+ * encoding. Parameter count is O(n^4): occ*virt singles per spin plus
+ * same-spin and opposite-spin doubles, matching Table I exactly.
+ */
+Ansatz buildUccsd(unsigned n_spatial, unsigned n_electrons);
+
+} // namespace qcc
+
+#endif // QCC_ANSATZ_UCCSD_HH

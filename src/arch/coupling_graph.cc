@@ -1,0 +1,99 @@
+#include "arch/coupling_graph.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+void
+CouplingGraph::addEdge(unsigned a, unsigned b)
+{
+    if (a >= numQubits() || b >= numQubits())
+        panic("CouplingGraph::addEdge: qubit out of range");
+    if (a == b)
+        panic("CouplingGraph::addEdge: self loop");
+    if (hasEdge(a, b))
+        panic("CouplingGraph::addEdge: duplicate edge");
+    adjList[a].push_back(b);
+    adjList[b].push_back(a);
+    edgeList.emplace_back(std::min(a, b), std::max(a, b));
+}
+
+bool
+CouplingGraph::hasEdge(unsigned a, unsigned b) const
+{
+    if (a >= numQubits() || b >= numQubits())
+        return false;
+    const auto &nb = adjList[a];
+    return std::find(nb.begin(), nb.end(), b) != nb.end();
+}
+
+unsigned
+CouplingGraph::maxDegree() const
+{
+    size_t d = 0;
+    for (const auto &nb : adjList)
+        d = std::max(d, nb.size());
+    return unsigned(d);
+}
+
+std::vector<std::vector<unsigned>>
+CouplingGraph::distanceMatrix() const
+{
+    const unsigned n = numQubits();
+    const unsigned inf = ~0u;
+    std::vector<std::vector<unsigned>> dist(
+        n, std::vector<unsigned>(n, inf));
+    for (unsigned s = 0; s < n; ++s) {
+        dist[s][s] = 0;
+        std::deque<unsigned> q{s};
+        while (!q.empty()) {
+            unsigned u = q.front();
+            q.pop_front();
+            for (unsigned v : adjList[u]) {
+                if (dist[s][v] == inf) {
+                    dist[s][v] = dist[s][u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+    }
+    return dist;
+}
+
+bool
+CouplingGraph::isConnected() const
+{
+    if (numQubits() == 0)
+        return true;
+    std::vector<bool> seen(numQubits(), false);
+    std::deque<unsigned> q{0};
+    seen[0] = true;
+    size_t count = 1;
+    while (!q.empty()) {
+        unsigned u = q.front();
+        q.pop_front();
+        for (unsigned v : adjList[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                ++count;
+                q.push_back(v);
+            }
+        }
+    }
+    return count == numQubits();
+}
+
+std::string
+CouplingGraph::str() const
+{
+    std::string out = std::to_string(numQubits()) + " qubits, " +
+                      std::to_string(numEdges()) + " edges:";
+    for (const auto &[a, b] : edgeList)
+        out += " (" + std::to_string(a) + "," + std::to_string(b) + ")";
+    return out;
+}
+
+} // namespace qcc

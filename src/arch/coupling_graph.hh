@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Physical coupling graph of a superconducting processor: qubits as
+ * nodes, bus resonators as edges. Provides adjacency, BFS distances,
+ * and connectivity checks used by both compilers and the yield model.
+ */
+
+#ifndef QCC_ARCH_COUPLING_GRAPH_HH
+#define QCC_ARCH_COUPLING_GRAPH_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qcc {
+
+/** Undirected coupling graph. */
+class CouplingGraph
+{
+  public:
+    explicit CouplingGraph(unsigned n = 0) : adjList(n) {}
+
+    unsigned numQubits() const { return unsigned(adjList.size()); }
+    size_t numEdges() const { return edgeList.size(); }
+
+    const std::vector<std::pair<unsigned, unsigned>> &
+    edges() const
+    {
+        return edgeList;
+    }
+
+    const std::vector<unsigned> &
+    neighbors(unsigned q) const
+    {
+        return adjList[q];
+    }
+
+    /** Add an undirected edge (no duplicates allowed). */
+    void addEdge(unsigned a, unsigned b);
+
+    /** True if a and b are directly coupled. */
+    bool hasEdge(unsigned a, unsigned b) const;
+
+    /** Max degree over all qubits. */
+    unsigned maxDegree() const;
+
+    /** All-pairs BFS hop distances. */
+    std::vector<std::vector<unsigned>> distanceMatrix() const;
+
+    /** True if every qubit is reachable from qubit 0. */
+    bool isConnected() const;
+
+    /** Edge list dump. */
+    std::string str() const;
+
+  private:
+    std::vector<std::vector<unsigned>> adjList;
+    std::vector<std::pair<unsigned, unsigned>> edgeList;
+};
+
+} // namespace qcc
+
+#endif // QCC_ARCH_COUPLING_GRAPH_HH

@@ -1,0 +1,59 @@
+#include "arch/grid.hh"
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+CouplingGraph
+makeGrid17Q()
+{
+    // Data qubits 0..8 on a 3x3 lattice (d(i,j) = 3i + j), plus
+    // ancillas 9..16: four interior ancillas coupling the four data
+    // qubits of each plaquette and four boundary ancillas coupling
+    // two edge data qubits each -> 16 + 8 = 24 couplers.
+    CouplingGraph g(17);
+    auto d = [](unsigned i, unsigned j) { return 3 * i + j; };
+
+    unsigned a = 9;
+    for (unsigned i = 0; i < 2; ++i) {
+        for (unsigned j = 0; j < 2; ++j) {
+            g.addEdge(a, d(i, j));
+            g.addEdge(a, d(i, j + 1));
+            g.addEdge(a, d(i + 1, j));
+            g.addEdge(a, d(i + 1, j + 1));
+            ++a;
+        }
+    }
+    g.addEdge(13, d(0, 1));
+    g.addEdge(13, d(0, 2));
+    g.addEdge(14, d(2, 0));
+    g.addEdge(14, d(2, 1));
+    g.addEdge(15, d(0, 0));
+    g.addEdge(15, d(1, 0));
+    g.addEdge(16, d(1, 2));
+    g.addEdge(16, d(2, 2));
+
+    if (g.numEdges() != 24 || !g.isConnected())
+        panic("makeGrid17Q: construction invariant violated");
+    return g;
+}
+
+CouplingGraph
+makeGrid(unsigned rows, unsigned cols)
+{
+    if (rows == 0 || cols == 0)
+        fatal("makeGrid: empty grid");
+    CouplingGraph g(rows * cols);
+    for (unsigned r = 0; r < rows; ++r) {
+        for (unsigned c = 0; c < cols; ++c) {
+            unsigned q = r * cols + c;
+            if (c + 1 < cols)
+                g.addEdge(q, q + 1);
+            if (r + 1 < rows)
+                g.addEdge(q, q + cols);
+        }
+    }
+    return g;
+}
+
+} // namespace qcc

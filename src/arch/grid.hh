@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Baseline grid architectures. Grid17Q is the 17-qubit planar lattice
+ * with 24 couplers used as the hardware baseline in Sections VI-E/F
+ * (IBM's 17-qubit device: 9 data qubits on a 3x3 grid plus 8 ancilla
+ * qubits, 4 interior with degree 4 and 4 boundary with degree 2).
+ * A generic rows x cols grid builder supports ablations.
+ */
+
+#ifndef QCC_ARCH_GRID_HH
+#define QCC_ARCH_GRID_HH
+
+#include "arch/coupling_graph.hh"
+
+namespace qcc {
+
+/** The 17-qubit, 24-coupler baseline lattice. */
+CouplingGraph makeGrid17Q();
+
+/** A rows x cols rectangular grid (rows*cols qubits). */
+CouplingGraph makeGrid(unsigned rows, unsigned cols);
+
+} // namespace qcc
+
+#endif // QCC_ARCH_GRID_HH

@@ -1,0 +1,47 @@
+#include "arch/xtree.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+unsigned
+XTree::maxLevel() const
+{
+    unsigned m = 0;
+    for (unsigned l : level)
+        m = std::max(m, l);
+    return m;
+}
+
+XTree
+makeXTree(unsigned n, unsigned root_degree, unsigned child_degree)
+{
+    if (n == 0)
+        fatal("makeXTree: empty tree");
+
+    XTree t;
+    t.graph = CouplingGraph(n);
+    t.parent.assign(n, -1);
+    t.level.assign(n, 0);
+    t.children.assign(n, {});
+
+    unsigned next = 1;
+    // BFS fill: nodes adopt children in index order until capacity.
+    for (unsigned node = 0; node < n && next < n; ++node) {
+        unsigned cap = (node == 0) ? root_degree : child_degree;
+        while (t.children[node].size() < cap && next < n) {
+            t.graph.addEdge(node, next);
+            t.parent[next] = int(node);
+            t.level[next] = t.level[node] + 1;
+            t.children[node].push_back(next);
+            ++next;
+        }
+    }
+    if (next < n)
+        panic("makeXTree: could not place all qubits");
+    return t;
+}
+
+} // namespace qcc

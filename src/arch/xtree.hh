@@ -1,0 +1,42 @@
+/**
+ * @file
+ * X-Tree processor architecture (Section IV): the coupling graph is a
+ * tree rooted at a center qubit of degree up to 4, every other qubit
+ * connecting to at most 3 children (degree <= 4 overall), giving the
+ * minimal N-1 couplers for N qubits. Construction fills level by
+ * level, so XTree5Q/8Q/17Q/26Q from Figure 6 fall out of one builder.
+ */
+
+#ifndef QCC_ARCH_XTREE_HH
+#define QCC_ARCH_XTREE_HH
+
+#include <vector>
+
+#include "arch/coupling_graph.hh"
+
+namespace qcc {
+
+/** A tree-shaped processor with level/parent annotations. */
+struct XTree
+{
+    CouplingGraph graph;
+    unsigned root = 0;
+    std::vector<int> parent;       ///< -1 for the root
+    std::vector<unsigned> level;   ///< hop distance from the root
+    std::vector<std::vector<unsigned>> children;
+
+    /** Deepest level present. */
+    unsigned maxLevel() const;
+};
+
+/**
+ * Build an X-Tree with n qubits. The root takes up to root_degree
+ * children; every other node up to child_degree. Qubits are numbered
+ * in BFS order (level by level).
+ */
+XTree makeXTree(unsigned n, unsigned root_degree = 4,
+                unsigned child_degree = 3);
+
+} // namespace qcc
+
+#endif // QCC_ARCH_XTREE_HH

@@ -1,0 +1,215 @@
+#include "arch/yield.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+namespace {
+
+/** Pairwise (coupled) collision conditions, types 1-4. */
+bool
+pairCollision(double fj, double fk, const CollisionModel &m)
+{
+    const double a = m.anharmonicity;
+    const double d = fj - fk;
+    if (std::fabs(d) < m.t1)
+        return true; // type 1
+    if (std::fabs(d - a / 2) < m.t2 || std::fabs(d + a / 2) < m.t2)
+        return true; // type 2
+    if (std::fabs(d - a) < m.t3 || std::fabs(d + a) < m.t3)
+        return true; // type 3
+    if (m.enforceStraddle) {
+        // Type 4: the CR control is the higher-frequency qubit; the
+        // detuning must stay inside the straddling regime (0, |alpha|).
+        if (std::fabs(d) >= std::fabs(a))
+            return true;
+    }
+    return false;
+}
+
+/** Spectator conditions, types 5-7: target t vs spectator s of c. */
+bool
+spectatorCollision(double fc, double ft, double fs,
+                   const CollisionModel &m)
+{
+    const double a = m.anharmonicity;
+    const double d = ft - fs;
+    if (std::fabs(d) < m.t5)
+        return true; // type 5
+    if (std::fabs(d - a / 2) < m.t6 || std::fabs(d + a / 2) < m.t6)
+        return true; // type 6
+    if (std::fabs(ft + fs - 2 * fc - a) < m.t7)
+        return true; // type 7
+    return false;
+}
+
+/** All collision checks centered on the edge (a, b). */
+bool
+edgeCollides(const CouplingGraph &g, const std::vector<double> &f,
+             unsigned a, unsigned b, const CollisionModel &m)
+{
+    if (pairCollision(f[a], f[b], m))
+        return true;
+    unsigned c = f[a] >= f[b] ? a : b;
+    unsigned t = c == a ? b : a;
+    for (unsigned s : g.neighbors(c)) {
+        if (s == t)
+            continue;
+        if (spectatorCollision(f[c], f[t], f[s], m))
+            return true;
+    }
+    return false;
+}
+
+/** Count design-time collisions involving node q (assigned only). */
+int
+localCollisions(const CouplingGraph &g, const std::vector<double> &f,
+                const std::vector<bool> &assigned, unsigned q,
+                const CollisionModel &m)
+{
+    int count = 0;
+    for (unsigned nb : g.neighbors(q)) {
+        if (!assigned[nb])
+            continue;
+        if (pairCollision(f[q], f[nb], m))
+            ++count;
+        // Spectator conditions around the (q, nb) edge, restricted
+        // to assigned qubits; check both control orientations to be
+        // conservative at allocation time.
+        for (unsigned s : g.neighbors(nb)) {
+            if (s == q || !assigned[s])
+                continue;
+            if (spectatorCollision(f[nb], f[q], f[s], m))
+                ++count;
+        }
+        for (unsigned s : g.neighbors(q)) {
+            if (s == nb || !assigned[s])
+                continue;
+            if (spectatorCollision(f[q], f[nb], f[s], m))
+                ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace
+
+std::vector<double>
+defaultFrequencyPalette()
+{
+    // Five levels whose pairwise differences (0.06 .. 0.26 GHz) keep
+    // a healthy margin from every default collision window (type 1
+    // below 17 MHz, type 2 near |alpha|/2 = 165 MHz, type 3 near
+    // 330 MHz) while staying inside the CR straddling regime.
+    return {5.00, 5.06, 5.12, 5.20, 5.26};
+}
+
+std::vector<double>
+allocateFrequencies(const CouplingGraph &g,
+                    const std::vector<double> &palette,
+                    const CollisionModel &model)
+{
+    const unsigned n = g.numQubits();
+    if (palette.empty())
+        fatal("allocateFrequencies: empty palette");
+
+    // Degree-descending base order: constrained qubits pick first.
+    std::vector<unsigned> base(n);
+    std::iota(base.begin(), base.end(), 0u);
+    std::stable_sort(base.begin(), base.end(),
+                     [&](unsigned a, unsigned b) {
+                         return g.neighbors(a).size() >
+                                g.neighbors(b).size();
+                     });
+
+    std::vector<double> best(n, palette[0]);
+    int bestCollisions = 1 << 20;
+
+    // Several deterministic greedy attempts with rotated orders and
+    // palette offsets; exact predicates drive the cost.
+    const int attempts = int(std::max<size_t>(n, palette.size()) * 4);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        std::vector<unsigned> order = base;
+        std::rotate(order.begin(),
+                    order.begin() + (attempt % n), order.end());
+
+        std::vector<double> f(n, 0.0);
+        std::vector<bool> assigned(n, false);
+        for (unsigned q : order) {
+            double bestF = palette[0];
+            double bestCost = 1e18;
+            for (size_t pi = 0; pi < palette.size(); ++pi) {
+                size_t idx =
+                    (pi + size_t(attempt) / n) % palette.size();
+                double cand = palette[idx];
+                f[q] = cand;
+                assigned[q] = true;
+                double cost = 1000.0 *
+                    localCollisions(g, f, assigned, q, model);
+                // Soft preference: keep neighbors well detuned.
+                for (unsigned nb : g.neighbors(q))
+                    if (assigned[nb])
+                        cost += 0.1 /
+                            (0.01 + std::fabs(cand - f[nb]));
+                assigned[q] = false;
+                if (cost < bestCost) {
+                    bestCost = cost;
+                    bestF = cand;
+                }
+            }
+            f[q] = bestF;
+            assigned[q] = true;
+        }
+
+        int collisions = 0;
+        for (const auto &[a, b] : g.edges())
+            collisions += edgeCollides(g, f, a, b, model) ? 1 : 0;
+        if (collisions < bestCollisions) {
+            bestCollisions = collisions;
+            best = f;
+            if (collisions == 0)
+                break;
+        }
+    }
+
+    if (bestCollisions > 0)
+        warn("allocateFrequencies: design frequencies retain " +
+             std::to_string(bestCollisions) + " collisions");
+    return best;
+}
+
+bool
+hasCollision(const CouplingGraph &g, const std::vector<double> &freq,
+             const CollisionModel &model)
+{
+    if (freq.size() != g.numQubits())
+        panic("hasCollision: frequency vector size mismatch");
+    for (const auto &[a, b] : g.edges())
+        if (edgeCollides(g, freq, a, b, model))
+            return true;
+    return false;
+}
+
+double
+simulateYield(const CouplingGraph &g,
+              const std::vector<double> &design_freq, double sigma,
+              int samples, Rng &rng, const CollisionModel &model)
+{
+    if (samples <= 0)
+        fatal("simulateYield: need a positive sample count");
+    std::vector<double> f(design_freq.size());
+    int good = 0;
+    for (int s = 0; s < samples; ++s) {
+        for (size_t q = 0; q < f.size(); ++q)
+            f[q] = design_freq[q] + rng.gaussian(0.0, sigma);
+        if (!hasCollision(g, f, model))
+            ++good;
+    }
+    return double(good) / double(samples);
+}
+
+} // namespace qcc

@@ -1,0 +1,98 @@
+#include "chem/basis.hh"
+
+#include <cmath>
+
+#include "chem/elements.hh"
+#include "chem/sto_ng.hh"
+#include "common/logging.hh"
+
+namespace qcc {
+
+namespace {
+
+double
+doubleFactorial(int n)
+{
+    double r = 1.0;
+    for (int k = n; k > 1; k -= 2)
+        r *= k;
+    return r;
+}
+
+/** Same-center overlap of two primitives with common (lx,ly,lz). */
+double
+sameCenterOverlap(double a, double b, int lx, int ly, int lz)
+{
+    const double p = a + b;
+    const int lsum = lx + ly + lz;
+    return std::pow(M_PI / p, 1.5) * doubleFactorial(2 * lx - 1) *
+           doubleFactorial(2 * ly - 1) * doubleFactorial(2 * lz - 1) /
+           std::pow(2.0 * p, lsum);
+}
+
+} // namespace
+
+double
+primitiveNorm(double a, int lx, int ly, int lz)
+{
+    return 1.0 / std::sqrt(sameCenterOverlap(a, a, lx, ly, lz));
+}
+
+BasisSet
+BasisSet::stoNg(const Molecule &mol, int n_gauss)
+{
+    BasisSet bs;
+    for (size_t ai = 0; ai < mol.atoms.size(); ++ai) {
+        const Atom &atom = mol.atoms[ai];
+        const Element &el = elementByZ(atom.z);
+        for (const auto &sh : el.shells) {
+            const StoFit &fit = stoNgFit(sh.n, sh.l, n_gauss);
+
+            Shell shell;
+            shell.l = sh.l;
+            shell.center = atom.pos;
+            shell.atomIndex = int(ai);
+            shell.alpha.resize(fit.exponents.size());
+            shell.coeff = fit.coeffs;
+            for (size_t i = 0; i < fit.exponents.size(); ++i)
+                shell.alpha[i] = fit.exponents[i] * sh.zeta * sh.zeta;
+
+            // Renormalize the contraction over 3D primitives (the
+            // fitter normalized the radial contraction; the 3D
+            // measure differs only by a shared angular factor, so
+            // this is a safety renormalization against quadrature
+            // error).
+            {
+                int lx = (shell.l == 1) ? 1 : 0;
+                double self = 0.0;
+                for (size_t i = 0; i < shell.alpha.size(); ++i) {
+                    for (size_t j = 0; j < shell.alpha.size(); ++j) {
+                        double s =
+                            sameCenterOverlap(shell.alpha[i],
+                                              shell.alpha[j], lx, 0, 0);
+                        self += shell.coeff[i] * shell.coeff[j] * s *
+                            primitiveNorm(shell.alpha[i], lx, 0, 0) *
+                            primitiveNorm(shell.alpha[j], lx, 0, 0);
+                    }
+                }
+                for (auto &c : shell.coeff)
+                    c /= std::sqrt(self);
+            }
+
+            int shellIdx = int(bs.shellList.size());
+            bs.shellList.push_back(shell);
+            if (shell.l == 0) {
+                bs.funcs.push_back({shellIdx, 0, 0, 0});
+            } else if (shell.l == 1) {
+                bs.funcs.push_back({shellIdx, 1, 0, 0});
+                bs.funcs.push_back({shellIdx, 0, 1, 0});
+                bs.funcs.push_back({shellIdx, 0, 0, 1});
+            } else {
+                fatal("BasisSet: unsupported angular momentum");
+            }
+        }
+    }
+    return bs;
+}
+
+} // namespace qcc

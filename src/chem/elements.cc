@@ -1,0 +1,53 @@
+#include "chem/elements.hh"
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+namespace {
+
+/**
+ * Slater zetas: H-F values are the standard STO-3G "best atom"
+ * exponents (Hehre, Stewart, Pople 1969); the Na valence zeta follows
+ * Clementi-Raimondi since the original third-row fit tables are not
+ * reproduced here (see DESIGN.md substitution notes).
+ */
+const std::vector<Element> table = {
+    {1, "H", {{1, 0, 1.24}}},
+    {2, "He", {{1, 0, 1.69}}},
+    {3, "Li", {{1, 0, 2.69}, {2, 0, 0.80}, {2, 1, 0.80}}},
+    {4, "Be", {{1, 0, 3.68}, {2, 0, 1.15}, {2, 1, 1.15}}},
+    {5, "B", {{1, 0, 4.68}, {2, 0, 1.50}, {2, 1, 1.50}}},
+    {6, "C", {{1, 0, 5.67}, {2, 0, 1.72}, {2, 1, 1.72}}},
+    {7, "N", {{1, 0, 6.67}, {2, 0, 1.95}, {2, 1, 1.95}}},
+    {8, "O", {{1, 0, 7.66}, {2, 0, 2.25}, {2, 1, 2.25}}},
+    {9, "F", {{1, 0, 8.65}, {2, 0, 2.55}, {2, 1, 2.55}}},
+    {11, "Na",
+     {{1, 0, 10.61},
+      {2, 0, 3.48},
+      {2, 1, 3.48},
+      {3, 0, 0.836},
+      {3, 1, 0.836}}},
+};
+
+} // namespace
+
+const Element &
+elementByZ(int z)
+{
+    for (const auto &e : table)
+        if (e.z == z)
+            return e;
+    fatal("elementByZ: unsupported atomic number " + std::to_string(z));
+}
+
+const Element &
+elementBySymbol(const std::string &symbol)
+{
+    for (const auto &e : table)
+        if (e.symbol == symbol)
+            return e;
+    fatal("elementBySymbol: unknown symbol " + symbol);
+}
+
+} // namespace qcc

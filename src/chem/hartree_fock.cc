@@ -1,0 +1,140 @@
+#include "chem/hartree_fock.hh"
+
+#include <cmath>
+#include <deque>
+
+#include "common/linalg.hh"
+#include "common/logging.hh"
+
+namespace qcc {
+
+namespace {
+
+/** Two-electron part of the Fock matrix: G = 2J - K contracted with D. */
+Matrix
+buildG(const IntegralTables &ints, const Matrix &d)
+{
+    const size_t n = ints.nbf;
+    Matrix g(n, n);
+    for (size_t mu = 0; mu < n; ++mu) {
+        for (size_t nu = 0; nu < n; ++nu) {
+            double acc = 0.0;
+            for (size_t la = 0; la < n; ++la) {
+                for (size_t si = 0; si < n; ++si) {
+                    acc += d(la, si) *
+                        (2.0 * ints.eriAt(mu, nu, si, la) -
+                         ints.eriAt(mu, la, si, nu));
+                }
+            }
+            g(mu, nu) = acc;
+        }
+    }
+    return g;
+}
+
+} // namespace
+
+ScfResult
+runRhf(const IntegralTables &ints, const Molecule &mol,
+       const ScfOptions &opts)
+{
+    const size_t n = ints.nbf;
+    const int nElec = mol.nElectrons();
+    if (nElec % 2)
+        fatal("runRhf: open-shell molecule (odd electron count)");
+    const size_t nOcc = size_t(nElec / 2);
+    if (nOcc > n)
+        fatal("runRhf: more electron pairs than basis functions");
+
+    const Matrix hCore = ints.t + ints.v;
+    const Matrix x = invSqrtSym(ints.s);
+
+    ScfResult res;
+
+    // Core-Hamiltonian guess.
+    auto diagonalizeFock = [&](const Matrix &f) {
+        Matrix fPrime = x.t() * f * x;
+        EigenSym eig = eigenSym(fPrime);
+        res.orbitalEnergies = eig.values;
+        res.coeffs = x * eig.vectors;
+        Matrix d(n, n);
+        for (size_t mu = 0; mu < n; ++mu)
+            for (size_t nu = 0; nu < n; ++nu)
+                for (size_t i = 0; i < nOcc; ++i)
+                    d(mu, nu) +=
+                        res.coeffs(mu, i) * res.coeffs(nu, i);
+        return d;
+    };
+
+    Matrix d = diagonalizeFock(hCore);
+    double ePrev = 0.0;
+
+    std::deque<Matrix> diisFocks, diisErrs;
+
+    for (int iter = 1; iter <= opts.maxIter; ++iter) {
+        Matrix f = hCore + buildG(ints, d);
+        const double eElec = d.dot(hCore + f);
+
+        // DIIS error e = X^T (FDS - SDF) X.
+        Matrix fds = f * d * ints.s;
+        Matrix err = x.t() * (fds - fds.t()) * x;
+
+        if (iter >= opts.diisStart) {
+            diisFocks.push_back(f);
+            diisErrs.push_back(err);
+            if (int(diisFocks.size()) > opts.diisSize) {
+                diisFocks.pop_front();
+                diisErrs.pop_front();
+            }
+            const size_t m = diisFocks.size();
+            if (m >= 2) {
+                // Solve the Pulay equations.
+                Matrix b(m + 1, m + 1);
+                std::vector<double> rhs(m + 1, 0.0);
+                for (size_t a = 0; a < m; ++a) {
+                    for (size_t c = 0; c < m; ++c)
+                        b(a, c) = diisErrs[a].dot(diisErrs[c]);
+                    b(a, m) = b(m, a) = -1.0;
+                }
+                rhs[m] = -1.0;
+                // A singular B matrix occurs with stale or converged
+                // history; fall back to the plain Fock matrix then.
+                std::vector<double> w;
+                bool ok = trySolveLinear(b, rhs, w);
+                if (ok) {
+                    Matrix fMix(n, n);
+                    for (size_t a = 0; a < m; ++a)
+                        fMix += diisFocks[a] * w[a];
+                    f = fMix;
+                }
+            }
+        }
+
+        Matrix dNew = diagonalizeFock(f);
+
+        if (opts.mixing > 0.0)
+            dNew = dNew * (1.0 - opts.mixing) + d * opts.mixing;
+
+        double dDiff = (dNew - d).maxAbs();
+        double eDiff = std::fabs(eElec - ePrev);
+        d = dNew;
+        ePrev = eElec;
+        res.iterations = iter;
+
+        if (dDiff < opts.convDensity && eDiff < opts.convEnergy) {
+            res.converged = true;
+            break;
+        }
+    }
+
+    // Final energy with the converged density.
+    Matrix f = hCore + buildG(ints, d);
+    res.energyElectronic = d.dot(hCore + f);
+    res.energyTotal = res.energyElectronic + mol.nuclearRepulsion();
+    res.density = d;
+    if (!res.converged)
+        warn("runRhf: SCF did not converge");
+    return res;
+}
+
+} // namespace qcc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Restricted Hartree-Fock with DIIS convergence acceleration. The HF
+ * solution supplies the molecular orbitals, the reference determinant
+ * for the UCCSD ansatz, and the orbital energies used to pick frozen
+ * cores and active spaces.
+ */
+
+#ifndef QCC_CHEM_HARTREE_FOCK_HH
+#define QCC_CHEM_HARTREE_FOCK_HH
+
+#include <vector>
+
+#include "chem/integrals.hh"
+#include "chem/molecule.hh"
+#include "common/matrix.hh"
+
+namespace qcc {
+
+/** SCF options. */
+struct ScfOptions
+{
+    int maxIter = 200;
+    double convDensity = 1e-9;  ///< max |Delta D|
+    double convEnergy = 1e-10;  ///< |Delta E|
+    int diisSize = 8;           ///< DIIS history length
+    int diisStart = 2;          ///< first iteration to apply DIIS
+    double mixing = 0.0;        ///< density damping (0 = none)
+};
+
+/** SCF result. */
+struct ScfResult
+{
+    bool converged = false;
+    int iterations = 0;
+    double energyElectronic = 0.0;
+    double energyTotal = 0.0;             ///< includes nuclear repulsion
+    std::vector<double> orbitalEnergies;  ///< ascending
+    Matrix coeffs;   ///< column i = MO i over AOs
+    Matrix density;  ///< D = C_occ C_occ^T (no factor 2)
+};
+
+/** Run restricted Hartree-Fock. Closed shell (even electrons) only. */
+ScfResult runRhf(const IntegralTables &ints, const Molecule &mol,
+                 const ScfOptions &opts = {});
+
+} // namespace qcc
+
+#endif // QCC_CHEM_HARTREE_FOCK_HH

@@ -1,0 +1,91 @@
+#include "chem/mo_integrals.hh"
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+MoIntegrals
+transformToMo(const IntegralTables &ints, const Matrix &c,
+              double nuclear_repulsion)
+{
+    const size_t n = ints.nbf;
+    if (c.rows() != n)
+        panic("transformToMo: coefficient shape mismatch");
+    const size_t m = c.cols();
+
+    MoIntegrals out;
+    out.nOrb = m;
+    out.coreEnergy = nuclear_repulsion;
+
+    // One-electron part.
+    Matrix hAo = ints.t + ints.v;
+    out.h = c.t() * hAo * c;
+
+    // Two-electron part: transform one index at a time.
+    auto idx = [](size_t a, size_t b, size_t cc, size_t d, size_t dim) {
+        return ((a * dim + b) * dim + cc) * dim + d;
+    };
+
+    // Step 1: (uv|ls) -> (pv|ls)
+    std::vector<double> t1(m * n * n * n, 0.0);
+    for (size_t p = 0; p < m; ++p)
+        for (size_t u = 0; u < n; ++u) {
+            const double cpu = c(u, p);
+            if (cpu == 0.0)
+                continue;
+            for (size_t v = 0; v < n; ++v)
+                for (size_t l = 0; l < n; ++l)
+                    for (size_t s = 0; s < n; ++s)
+                        t1[((p * n + v) * n + l) * n + s] +=
+                            cpu * ints.eri[idx(u, v, l, s, n)];
+        }
+
+    // Step 2: (pv|ls) -> (pq|ls)
+    std::vector<double> t2(m * m * n * n, 0.0);
+    for (size_t q = 0; q < m; ++q)
+        for (size_t v = 0; v < n; ++v) {
+            const double cqv = c(v, q);
+            if (cqv == 0.0)
+                continue;
+            for (size_t p = 0; p < m; ++p)
+                for (size_t l = 0; l < n; ++l)
+                    for (size_t s = 0; s < n; ++s)
+                        t2[((p * m + q) * n + l) * n + s] +=
+                            cqv * t1[((p * n + v) * n + l) * n + s];
+        }
+    t1.clear();
+    t1.shrink_to_fit();
+
+    // Step 3: (pq|ls) -> (pq|rs)
+    std::vector<double> t3(m * m * m * n, 0.0);
+    for (size_t r = 0; r < m; ++r)
+        for (size_t l = 0; l < n; ++l) {
+            const double crl = c(l, r);
+            if (crl == 0.0)
+                continue;
+            for (size_t p = 0; p < m; ++p)
+                for (size_t q = 0; q < m; ++q)
+                    for (size_t s = 0; s < n; ++s)
+                        t3[((p * m + q) * m + r) * n + s] +=
+                            crl * t2[((p * m + q) * n + l) * n + s];
+        }
+    t2.clear();
+    t2.shrink_to_fit();
+
+    // Step 4: (pq|rs_AO) -> (pq|rs)
+    out.eri.assign(m * m * m * m, 0.0);
+    for (size_t s2 = 0; s2 < m; ++s2)
+        for (size_t s = 0; s < n; ++s) {
+            const double css = c(s, s2);
+            if (css == 0.0)
+                continue;
+            for (size_t p = 0; p < m; ++p)
+                for (size_t q = 0; q < m; ++q)
+                    for (size_t r = 0; r < m; ++r)
+                        out.eri[idx(p, q, r, s2, m)] +=
+                            css * t3[((p * m + q) * m + r) * n + s];
+        }
+    return out;
+}
+
+} // namespace qcc

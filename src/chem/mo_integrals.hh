@@ -1,0 +1,48 @@
+/**
+ * @file
+ * AO-to-MO integral transformation. Produces the one-electron matrix
+ * and the chemist-notation (pq|rs) tensor over molecular orbitals,
+ * the inputs to second quantization.
+ */
+
+#ifndef QCC_CHEM_MO_INTEGRALS_HH
+#define QCC_CHEM_MO_INTEGRALS_HH
+
+#include <vector>
+
+#include "chem/integrals.hh"
+#include "common/matrix.hh"
+
+namespace qcc {
+
+/** MO-basis integrals plus the constant (nuclear) energy offset. */
+struct MoIntegrals
+{
+    size_t nOrb = 0;
+    Matrix h;                 ///< one-electron integrals h_pq
+    std::vector<double> eri;  ///< chemist (pq|rs), dense
+    double coreEnergy = 0.0;  ///< nuclear repulsion (+ frozen core)
+
+    double
+    eriAt(size_t p, size_t q, size_t r, size_t s) const
+    {
+        return eri[((p * nOrb + q) * nOrb + r) * nOrb + s];
+    }
+
+    double &
+    eriRef(size_t p, size_t q, size_t r, size_t s)
+    {
+        return eri[((p * nOrb + q) * nOrb + r) * nOrb + s];
+    }
+};
+
+/**
+ * Transform AO integrals into the MO basis defined by coefficient
+ * matrix c (columns = MOs). The O(N^5) stepwise algorithm.
+ */
+MoIntegrals transformToMo(const IntegralTables &ints, const Matrix &c,
+                          double nuclear_repulsion);
+
+} // namespace qcc
+
+#endif // QCC_CHEM_MO_INTEGRALS_HH

@@ -1,0 +1,45 @@
+#include "chem/molecule.hh"
+
+#include <cmath>
+
+#include "chem/elements.hh"
+
+namespace qcc {
+
+int
+Molecule::nElectrons() const
+{
+    int n = -charge;
+    for (const auto &a : atoms)
+        n += a.z;
+    return n;
+}
+
+double
+Molecule::nuclearRepulsion() const
+{
+    double e = 0.0;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+        for (size_t j = i + 1; j < atoms.size(); ++j) {
+            double d2 = 0.0;
+            for (int k = 0; k < 3; ++k) {
+                double d = atoms[i].pos[k] - atoms[j].pos[k];
+                d2 += d * d;
+            }
+            e += atoms[i].z * atoms[j].z / std::sqrt(d2);
+        }
+    }
+    return e;
+}
+
+void
+Molecule::addAtomAngstrom(const std::string &symbol, double x, double y,
+                          double z)
+{
+    const Element &el = elementBySymbol(symbol);
+    atoms.push_back({el.z,
+                     {x * angstromToBohr, y * angstromToBohr,
+                      z * angstromToBohr}});
+}
+
+} // namespace qcc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Molecular geometry: atoms with positions in Bohr, electron count,
+ * and nuclear repulsion energy.
+ */
+
+#ifndef QCC_CHEM_MOLECULE_HH
+#define QCC_CHEM_MOLECULE_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace qcc {
+
+/** Conversion factor: 1 Angstrom in Bohr. */
+constexpr double angstromToBohr = 1.8897259886;
+
+/** One atom: atomic number and Cartesian position (Bohr). */
+struct Atom
+{
+    int z;
+    std::array<double, 3> pos;
+};
+
+/** A molecule: atoms plus total charge. */
+struct Molecule
+{
+    std::vector<Atom> atoms;
+    int charge = 0;
+
+    /** Number of electrons (sum of Z minus charge). */
+    int nElectrons() const;
+
+    /** Nuclear-nuclear repulsion energy in Hartree. */
+    double nuclearRepulsion() const;
+
+    /** Append an atom given a symbol and Angstrom coordinates. */
+    void addAtomAngstrom(const std::string &symbol, double x, double y,
+                         double z);
+};
+
+} // namespace qcc
+
+#endif // QCC_CHEM_MOLECULE_HH

@@ -1,0 +1,124 @@
+#include "chem/molecules.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+namespace {
+
+Molecule
+diatomic(const std::string &a, const std::string &b, double bond)
+{
+    Molecule m;
+    m.addAtomAngstrom(a, 0, 0, 0);
+    m.addAtomAngstrom(b, 0, 0, bond);
+    return m;
+}
+
+Molecule
+buildBeH2(double bond)
+{
+    Molecule m;
+    m.addAtomAngstrom("Be", 0, 0, 0);
+    m.addAtomAngstrom("H", 0, 0, bond);
+    m.addAtomAngstrom("H", 0, 0, -bond);
+    return m;
+}
+
+Molecule
+buildH2O(double bond)
+{
+    // Fixed HOH angle of 104.45 degrees, symmetric stretch.
+    const double half = 104.45 / 2.0 * M_PI / 180.0;
+    Molecule m;
+    m.addAtomAngstrom("O", 0, 0, 0);
+    m.addAtomAngstrom("H", bond * std::sin(half), 0,
+                      bond * std::cos(half));
+    m.addAtomAngstrom("H", -bond * std::sin(half), 0,
+                      bond * std::cos(half));
+    return m;
+}
+
+Molecule
+buildBH3(double bond)
+{
+    // Trigonal planar.
+    Molecule m;
+    m.addAtomAngstrom("B", 0, 0, 0);
+    for (int k = 0; k < 3; ++k) {
+        double phi = 2.0 * M_PI * k / 3.0;
+        m.addAtomAngstrom("H", bond * std::cos(phi),
+                          bond * std::sin(phi), 0);
+    }
+    return m;
+}
+
+Molecule
+buildNH3(double bond)
+{
+    // Pyramidal with fixed HNH angle 106.8 degrees: hydrogens on a
+    // cone around z at polar angle theta with
+    // cos(HNH) = cos^2(theta) - sin^2(theta)/2.
+    const double cosHnh = std::cos(106.8 * M_PI / 180.0);
+    const double cosTheta = std::sqrt((cosHnh + 0.5) / 1.5);
+    const double sinTheta = std::sqrt(1.0 - cosTheta * cosTheta);
+    Molecule m;
+    m.addAtomAngstrom("N", 0, 0, 0);
+    for (int k = 0; k < 3; ++k) {
+        double phi = 2.0 * M_PI * k / 3.0;
+        m.addAtomAngstrom("H", bond * sinTheta * std::cos(phi),
+                          bond * sinTheta * std::sin(phi),
+                          bond * cosTheta);
+    }
+    return m;
+}
+
+Molecule
+buildCH4(double bond)
+{
+    const double r = bond / std::sqrt(3.0);
+    Molecule m;
+    m.addAtomAngstrom("C", 0, 0, 0);
+    m.addAtomAngstrom("H", r, r, r);
+    m.addAtomAngstrom("H", r, -r, -r);
+    m.addAtomAngstrom("H", -r, r, -r);
+    m.addAtomAngstrom("H", -r, -r, r);
+    return m;
+}
+
+const std::vector<BenchmarkMolecule> catalog = {
+    {"H2", [](double b) { return diatomic("H", "H", b); },
+     0, -1, 0.74, 0.3, 2.1, 4, 3},
+    {"LiH", [](double b) { return diatomic("Li", "H", b); },
+     1, 3, 1.60, 0.9, 2.7, 6, 8},
+    {"NaH", [](double b) { return diatomic("Na", "H", b); },
+     5, 4, 1.90, 1.2, 3.0, 8, 15},
+    {"HF", [](double b) { return diatomic("F", "H", b); },
+     1, -1, 0.92, 0.5, 2.0, 10, 24},
+    {"BeH2", buildBeH2, 1, -1, 1.33, 0.8, 2.4, 12, 92},
+    {"H2O", buildH2O, 1, -1, 0.96, 0.6, 2.0, 12, 92},
+    {"BH3", buildBH3, 1, -1, 1.19, 0.8, 2.2, 14, 204},
+    {"NH3", buildNH3, 1, -1, 1.01, 0.7, 2.0, 14, 204},
+    {"CH4", buildCH4, 1, -1, 1.09, 0.7, 2.0, 16, 360},
+};
+
+} // namespace
+
+const std::vector<BenchmarkMolecule> &
+benchmarkMolecules()
+{
+    return catalog;
+}
+
+const BenchmarkMolecule &
+benchmarkMolecule(const std::string &name)
+{
+    for (const auto &m : catalog)
+        if (m.name == name)
+            return m;
+    fatal("benchmarkMolecule: unknown molecule " + name);
+}
+
+} // namespace qcc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Benchmark molecule catalog: the nine molecules of the paper's
+ * Table I, each with a geometry builder parameterized by a bond
+ * length (symmetric stretch for polyatomics) and the active-space
+ * settings that reproduce the paper's qubit counts.
+ */
+
+#ifndef QCC_CHEM_MOLECULES_HH
+#define QCC_CHEM_MOLECULES_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hh"
+
+namespace qcc {
+
+/** One catalog entry. */
+struct BenchmarkMolecule
+{
+    std::string name;
+    /** Geometry builder; bond is the (symmetric) X-H distance in
+     *  Angstrom. */
+    std::function<Molecule(double bond)> build;
+    unsigned nFrozen;        ///< frozen lowest MOs
+    int targetSpatial;       ///< active spatial orbitals (-1 = all)
+    double equilibriumBond;  ///< approximate equilibrium (Angstrom)
+    double sweepLo;          ///< default sweep start
+    double sweepHi;          ///< default sweep end
+    unsigned expectQubits;   ///< paper's Table I qubit count
+    unsigned expectParams;   ///< paper's Table I parameter count
+};
+
+/** All nine Table I molecules, smallest first. */
+const std::vector<BenchmarkMolecule> &benchmarkMolecules();
+
+/** Look up a catalog entry by name (H2, LiH, ...). */
+const BenchmarkMolecule &benchmarkMolecule(const std::string &name);
+
+} // namespace qcc
+
+#endif // QCC_CHEM_MOLECULES_HH

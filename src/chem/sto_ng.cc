@@ -1,0 +1,200 @@
+#include "chem/sto_ng.hh"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/linalg.hh"
+#include "common/logging.hh"
+#include "common/optimize.hh"
+
+namespace qcc {
+
+namespace {
+
+/** Radial quadrature grid: composite Simpson on [0, rmax]. */
+struct RadialGrid
+{
+    std::vector<double> r;
+    std::vector<double> w; ///< weights including the r^2 measure
+
+    RadialGrid(double rmax, int n)
+    {
+        // n must be even for Simpson.
+        if (n % 2)
+            ++n;
+        const double h = rmax / n;
+        r.resize(n + 1);
+        w.resize(n + 1);
+        for (int i = 0; i <= n; ++i) {
+            r[i] = i * h;
+            double simpson =
+                (i == 0 || i == n) ? 1.0 : (i % 2 ? 4.0 : 2.0);
+            w[i] = simpson * h / 3.0 * r[i] * r[i];
+        }
+    }
+};
+
+/** <u, v> = int u(r) v(r) r^2 dr on the grid. */
+double
+radialInner(const RadialGrid &g, const std::vector<double> &u,
+            const std::vector<double> &v)
+{
+    double s = 0.0;
+    for (size_t i = 0; i < g.r.size(); ++i)
+        s += g.w[i] * u[i] * v[i];
+    return s;
+}
+
+std::vector<double>
+slaterRadial(const RadialGrid &g, int n)
+{
+    std::vector<double> f(g.r.size());
+    for (size_t i = 0; i < g.r.size(); ++i)
+        f[i] = std::pow(g.r[i], n - 1) * std::exp(-g.r[i]);
+    return f;
+}
+
+std::vector<double>
+gaussRadial(const RadialGrid &g, int l, double alpha)
+{
+    std::vector<double> f(g.r.size());
+    for (size_t i = 0; i < g.r.size(); ++i)
+        f[i] = std::pow(g.r[i], l) * std::exp(-alpha * g.r[i] * g.r[i]);
+    return f;
+}
+
+/**
+ * For fixed exponents, the best coefficients maximize
+ * (c.b)^2 / (c.A.c) with A the Gram matrix of the Gaussians and b
+ * their overlaps with the Slater target; the solution is c = A^{-1} b.
+ * Returns the achieved normalized overlap and fills coeffs.
+ */
+double
+bestCoefficients(const RadialGrid &g, int n, int l,
+                 const std::vector<double> &alphas,
+                 std::vector<double> &coeffs)
+{
+    const size_t ng = alphas.size();
+    std::vector<std::vector<double>> gr(ng);
+    for (size_t i = 0; i < ng; ++i)
+        gr[i] = gaussRadial(g, l, alphas[i]);
+    std::vector<double> target = slaterRadial(g, n);
+
+    Matrix a(ng, ng);
+    std::vector<double> b(ng);
+    for (size_t i = 0; i < ng; ++i) {
+        b[i] = radialInner(g, gr[i], target);
+        for (size_t j = 0; j < ng; ++j)
+            a(i, j) = radialInner(g, gr[i], gr[j]);
+    }
+
+    std::vector<double> c = solveLinear(a, b);
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < ng; ++i) {
+        num += c[i] * b[i];
+        for (size_t j = 0; j < ng; ++j)
+            den += c[i] * a(i, j) * c[j];
+    }
+    double tt = radialInner(g, target, target);
+    coeffs = std::move(c);
+    if (den <= 0 || tt <= 0)
+        return 0.0;
+    return num / std::sqrt(den * tt);
+}
+
+StoFit
+fitShell(int n, int l, int n_gauss)
+{
+    if (n_gauss < 1 || n_gauss > 6)
+        fatal("stoNgFit: n_gauss out of range");
+    RadialGrid grid(45.0, 4000);
+
+    // Geometric starting guesses bracketing the Slater decay scale.
+    std::vector<double> x0(n_gauss);
+    double hi = (n == 1) ? 2.5 : (n == 2 ? 1.0 : 0.5);
+    for (int i = 0; i < n_gauss; ++i)
+        x0[i] = std::log(hi / std::pow(4.5, i));
+
+    auto objective = [&](const std::vector<double> &logAlpha) {
+        std::vector<double> alphas(logAlpha.size());
+        for (size_t i = 0; i < alphas.size(); ++i) {
+            alphas[i] = std::exp(logAlpha[i]);
+            if (alphas[i] > 1e6 || alphas[i] < 1e-6)
+                return 1.0; // out of sensible range
+        }
+        // Penalize near-coincident exponents (ill-conditioned Gram).
+        for (size_t i = 0; i < alphas.size(); ++i)
+            for (size_t j = i + 1; j < alphas.size(); ++j)
+                if (std::fabs(std::log(alphas[i] / alphas[j])) < 0.05)
+                    return 1.0;
+        std::vector<double> c;
+        return 1.0 - bestCoefficients(grid, n, l, alphas, c);
+    };
+
+    NelderMeadOptions nm;
+    nm.maxIter = 4000;
+    nm.initStep = 0.4;
+    nm.xatol = 1e-9;
+    nm.fatol = 1e-13;
+    OptimizeResult res = nelderMead(objective, x0, nm);
+
+    StoFit fit;
+    fit.exponents.resize(n_gauss);
+    for (int i = 0; i < n_gauss; ++i)
+        fit.exponents[i] = std::exp(res.x[i]);
+
+    std::vector<double> cRaw;
+    fit.overlap =
+        bestCoefficients(grid, n, l, fit.exponents, cRaw);
+
+    // Express coefficients over radially normalized primitives and
+    // normalize the contraction itself.
+    fit.coeffs.resize(n_gauss);
+    std::vector<std::vector<double>> gr(n_gauss);
+    for (int i = 0; i < n_gauss; ++i)
+        gr[i] = gaussRadial(grid, l, fit.exponents[i]);
+    for (int i = 0; i < n_gauss; ++i) {
+        double nrm = std::sqrt(radialInner(grid, gr[i], gr[i]));
+        fit.coeffs[i] = cRaw[i] * nrm;
+    }
+    double self = 0.0;
+    for (int i = 0; i < n_gauss; ++i) {
+        for (int j = 0; j < n_gauss; ++j) {
+            double sij = radialInner(grid, gr[i], gr[j]) /
+                std::sqrt(radialInner(grid, gr[i], gr[i]) *
+                          radialInner(grid, gr[j], gr[j]));
+            self += fit.coeffs[i] * fit.coeffs[j] * sij;
+        }
+    }
+    for (auto &c : fit.coeffs)
+        c /= std::sqrt(self);
+
+    // Sort exponents descending, carrying coefficients along.
+    for (int i = 0; i < n_gauss; ++i) {
+        for (int j = i + 1; j < n_gauss; ++j) {
+            if (fit.exponents[j] > fit.exponents[i]) {
+                std::swap(fit.exponents[i], fit.exponents[j]);
+                std::swap(fit.coeffs[i], fit.coeffs[j]);
+            }
+        }
+    }
+    return fit;
+}
+
+} // namespace
+
+const StoFit &
+stoNgFit(int n, int l, int n_gauss)
+{
+    static std::map<std::tuple<int, int, int>, StoFit> cache;
+    static std::mutex mtx;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto key = std::make_tuple(n, l, n_gauss);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, fitShell(n, l, n_gauss)).first;
+    return it->second;
+}
+
+} // namespace qcc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * STO-nG expansion fitter. Instead of copying tabulated STO-3G
+ * contraction data, the library re-derives it: the unit-zeta Slater
+ * radial function r^{n-1} exp(-r) is least-squares fit by n_gauss
+ * Gaussian primitives r^l exp(-alpha r^2) (overlap-maximizing fit,
+ * Nelder-Mead over log-exponents, linear solve for coefficients).
+ * Scaling to an element's zeta multiplies exponents by zeta^2; the
+ * coefficients, expressed over radially normalized primitives, are
+ * invariant under that scaling.
+ */
+
+#ifndef QCC_CHEM_STO_NG_HH
+#define QCC_CHEM_STO_NG_HH
+
+#include <vector>
+
+namespace qcc {
+
+/** Result of fitting one Slater shell with Gaussians at zeta = 1. */
+struct StoFit
+{
+    /** Gaussian exponents, descending. */
+    std::vector<double> exponents;
+    /** Coefficients over radially normalized primitives. */
+    std::vector<double> coeffs;
+    /** Achieved normalized overlap with the Slater target (<= 1). */
+    double overlap;
+};
+
+/**
+ * Fit the (n, l) Slater shell at zeta = 1 with n_gauss primitives.
+ * Results are cached: repeated calls are free. Supported: 1s, 2s, 2p,
+ * 3s, 3p with 1 <= n_gauss <= 6.
+ */
+const StoFit &stoNgFit(int n, int l, int n_gauss = 3);
+
+} // namespace qcc
+
+#endif // QCC_CHEM_STO_NG_HH

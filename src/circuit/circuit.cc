@@ -1,0 +1,133 @@
+#include "circuit/circuit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+void
+Circuit::push(const Gate &g)
+{
+    if (g.q0 >= nQubits || (isTwoQubit(g.kind) && g.q1 >= nQubits))
+        panic("Circuit::push: qubit out of range");
+    if (isTwoQubit(g.kind) && g.q0 == g.q1)
+        panic("Circuit::push: two-qubit gate on identical qubits");
+    gateList.push_back(g);
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    if (other.nQubits != nQubits)
+        panic("Circuit::append: width mismatch");
+    gateList.insert(gateList.end(), other.gateList.begin(),
+                    other.gateList.end());
+}
+
+size_t
+Circuit::cnotCount(bool swap_as_three) const
+{
+    size_t n = 0;
+    for (const auto &g : gateList) {
+        if (g.kind == GateKind::CNOT)
+            ++n;
+        else if (g.kind == GateKind::SWAP)
+            n += swap_as_three ? 3 : 0;
+    }
+    return n;
+}
+
+size_t
+Circuit::swapCount() const
+{
+    size_t n = 0;
+    for (const auto &g : gateList)
+        if (g.kind == GateKind::SWAP)
+            ++n;
+    return n;
+}
+
+size_t
+Circuit::depth() const
+{
+    std::vector<size_t> level(nQubits, 0);
+    size_t d = 0;
+    for (const auto &g : gateList) {
+        size_t l = level[g.q0];
+        if (isTwoQubit(g.kind))
+            l = std::max(l, level[g.q1]);
+        ++l;
+        level[g.q0] = l;
+        if (isTwoQubit(g.kind))
+            level[g.q1] = l;
+        d = std::max(d, l);
+    }
+    return d;
+}
+
+Circuit
+Circuit::inverse() const
+{
+    Circuit inv(nQubits);
+    for (auto it = gateList.rbegin(); it != gateList.rend(); ++it) {
+        Gate g = *it;
+        switch (g.kind) {
+          case GateKind::S:
+            g.kind = GateKind::Sdg;
+            break;
+          case GateKind::Sdg:
+            g.kind = GateKind::S;
+            break;
+          case GateKind::RX:
+          case GateKind::RY:
+          case GateKind::RZ:
+            g.angle = -g.angle;
+            break;
+          default:
+            break; // self-inverse
+        }
+        inv.gateList.push_back(g);
+    }
+    return inv;
+}
+
+std::string
+Circuit::toQasm() const
+{
+    std::string out = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+    out += "qreg q[" + std::to_string(nQubits) + "];\n";
+    char buf[96];
+    for (const auto &g : gateList) {
+        if (g.kind == GateKind::SWAP) {
+            std::snprintf(buf, sizeof(buf),
+                          "cx q[%u],q[%u];\ncx q[%u],q[%u];\n"
+                          "cx q[%u],q[%u];\n",
+                          g.q0, g.q1, g.q1, g.q0, g.q0, g.q1);
+        } else if (g.kind == GateKind::CNOT) {
+            std::snprintf(buf, sizeof(buf), "cx q[%u],q[%u];\n",
+                          g.q0, g.q1);
+        } else if (hasAngle(g.kind)) {
+            std::snprintf(buf, sizeof(buf), "%s(%.17g) q[%u];\n",
+                          gateName(g.kind).c_str(), g.angle, g.q0);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s q[%u];\n",
+                          gateName(g.kind).c_str(), g.q0);
+        }
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+Circuit::str() const
+{
+    std::string out;
+    for (const auto &g : gateList) {
+        out += g.str();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace qcc

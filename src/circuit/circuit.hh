@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A quantum circuit: an ordered gate list over a fixed qubit count,
+ * with the cost accounting used throughout the evaluation (total gate
+ * count, CNOT count with SWAP = 3 CNOTs, depth) and an OpenQASM 2.0
+ * exporter for interoperability.
+ */
+
+#ifndef QCC_CIRCUIT_CIRCUIT_HH
+#define QCC_CIRCUIT_CIRCUIT_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hh"
+
+namespace qcc {
+
+/** Ordered list of gates on n qubits. */
+class Circuit
+{
+  public:
+    explicit Circuit(unsigned n = 0) : nQubits(n) {}
+
+    unsigned numQubits() const { return nQubits; }
+    const std::vector<Gate> &gates() const { return gateList; }
+    size_t size() const { return gateList.size(); }
+
+    /** @{ Gate-append helpers. */
+    void x(unsigned q) { push({GateKind::X, q}); }
+    void y(unsigned q) { push({GateKind::Y, q}); }
+    void z(unsigned q) { push({GateKind::Z, q}); }
+    void h(unsigned q) { push({GateKind::H, q}); }
+    void s(unsigned q) { push({GateKind::S, q}); }
+    void sdg(unsigned q) { push({GateKind::Sdg, q}); }
+    void rx(unsigned q, double a) { push({GateKind::RX, q, 0, a}); }
+    void ry(unsigned q, double a) { push({GateKind::RY, q, 0, a}); }
+    void rz(unsigned q, double a) { push({GateKind::RZ, q, 0, a}); }
+    void cnot(unsigned c, unsigned t) { push({GateKind::CNOT, c, t}); }
+    void swap(unsigned a, unsigned b) { push({GateKind::SWAP, a, b}); }
+    /** @} */
+
+    /** Append a raw gate with bounds checking. */
+    void push(const Gate &g);
+
+    /** Append all gates of another circuit (same width required). */
+    void append(const Circuit &other);
+
+    /** Total gates, counting each SWAP as one gate. */
+    size_t totalGates() const { return gateList.size(); }
+
+    /**
+     * CNOT count; when swap_as_three is set each SWAP contributes
+     * three CNOTs (the standard decomposition and the convention in
+     * the paper's overhead tables).
+     */
+    size_t cnotCount(bool swap_as_three = true) const;
+
+    /** Number of SWAP gates. */
+    size_t swapCount() const;
+
+    /** Circuit depth (greedy ASAP scheduling). */
+    size_t depth() const;
+
+    /** Adjoint circuit: reversed gate order, inverted gates. */
+    Circuit inverse() const;
+
+    /** OpenQASM 2.0 text (swap emitted as three cx). */
+    std::string toQasm() const;
+
+    /** One gate per line, for debugging. */
+    std::string str() const;
+
+  private:
+    unsigned nQubits;
+    std::vector<Gate> gateList;
+};
+
+} // namespace qcc
+
+#endif // QCC_CIRCUIT_CIRCUIT_HH

@@ -1,0 +1,55 @@
+#include "circuit/gate.hh"
+
+#include <cstdio>
+
+namespace qcc {
+
+bool
+isTwoQubit(GateKind k)
+{
+    return k == GateKind::CNOT || k == GateKind::SWAP;
+}
+
+bool
+hasAngle(GateKind k)
+{
+    return k == GateKind::RX || k == GateKind::RY || k == GateKind::RZ;
+}
+
+std::string
+gateName(GateKind k)
+{
+    switch (k) {
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::H: return "h";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::RX: return "rx";
+      case GateKind::RY: return "ry";
+      case GateKind::RZ: return "rz";
+      case GateKind::CNOT: return "cx";
+      case GateKind::SWAP: return "swap";
+    }
+    return "?";
+}
+
+std::string
+Gate::str() const
+{
+    char buf[96];
+    if (isTwoQubit(kind)) {
+        std::snprintf(buf, sizeof(buf), "%s q%u, q%u",
+                      gateName(kind).c_str(), q0, q1);
+    } else if (hasAngle(kind)) {
+        std::snprintf(buf, sizeof(buf), "%s(%.8g) q%u",
+                      gateName(kind).c_str(), angle, q0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s q%u",
+                      gateName(kind).c_str(), q0);
+    }
+    return buf;
+}
+
+} // namespace qcc

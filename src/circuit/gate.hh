@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Gate-level IR. The library compiles Pauli-string programs down to
+ * this representation: single-qubit basis-change gates, RZ rotations,
+ * CNOTs, and SWAPs inserted by routing. Gate counting follows the
+ * paper's conventions (CNOT count is the headline cost metric; a SWAP
+ * decomposes into three CNOTs).
+ */
+
+#ifndef QCC_CIRCUIT_GATE_HH
+#define QCC_CIRCUIT_GATE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace qcc {
+
+/** Supported gate kinds. */
+enum class GateKind : uint8_t
+{
+    X, Y, Z, H, S, Sdg, RX, RY, RZ, CNOT, SWAP
+};
+
+/** True for two-qubit kinds (CNOT, SWAP). */
+bool isTwoQubit(GateKind k);
+
+/** True for kinds carrying a rotation angle (RX, RY, RZ). */
+bool hasAngle(GateKind k);
+
+/** Lower-case mnemonic, e.g. "cx" for CNOT (OpenQASM names). */
+std::string gateName(GateKind k);
+
+/**
+ * One gate application. For two-qubit gates, q0 is the control (CNOT)
+ * or first operand (SWAP) and q1 the target/second operand; for
+ * single-qubit gates q1 is unused.
+ */
+struct Gate
+{
+    GateKind kind;
+    unsigned q0;
+    unsigned q1 = 0;
+    double angle = 0.0;
+
+    /** Printable form, e.g. "cx q2, q5" or "rz(0.42) q1". */
+    std::string str() const;
+};
+
+} // namespace qcc
+
+#endif // QCC_CIRCUIT_GATE_HH

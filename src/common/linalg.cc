@@ -1,0 +1,148 @@
+#include "common/linalg.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+EigenSym
+eigenSym(const Matrix &a_in, int max_sweeps)
+{
+    if (a_in.rows() != a_in.cols())
+        panic("eigenSym: not square");
+    const size_t n = a_in.rows();
+    Matrix a = a_in;
+    Matrix v = Matrix::identity(n);
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (size_t p = 0; p < n; ++p)
+            for (size_t q = p + 1; q < n; ++q)
+                off += a(p, q) * a(p, q);
+        if (off < 1e-26)
+            break;
+
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double apq = a(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+                double t = (theta >= 0 ? 1.0 : -1.0) /
+                           (std::fabs(theta) +
+                            std::sqrt(theta * theta + 1.0));
+                double c = 1.0 / std::sqrt(t * t + 1.0);
+                double s = t * c;
+
+                for (size_t k = 0; k < n; ++k) {
+                    double akp = a(k, p), akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double apk = a(p, k), aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double vkp = v(k, p), vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t i, size_t j) { return a(i, i) < a(j, j); });
+
+    EigenSym out;
+    out.values.resize(n);
+    out.vectors = Matrix(n, n);
+    for (size_t j = 0; j < n; ++j) {
+        out.values[j] = a(order[j], order[j]);
+        for (size_t i = 0; i < n; ++i)
+            out.vectors(i, j) = v(i, order[j]);
+    }
+    return out;
+}
+
+std::vector<double>
+solveLinear(Matrix a, std::vector<double> b)
+{
+    std::vector<double> x;
+    if (!trySolveLinear(std::move(a), std::move(b), x))
+        panic("solveLinear: singular matrix");
+    return x;
+}
+
+bool
+trySolveLinear(Matrix a, std::vector<double> b,
+               std::vector<double> &out)
+{
+    const size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        panic("trySolveLinear: shape mismatch");
+
+    // Scale-aware pivot threshold.
+    double scale = a.maxAbs();
+    if (scale == 0.0)
+        return false;
+
+    for (size_t col = 0; col < n; ++col) {
+        size_t piv = col;
+        for (size_t r = col + 1; r < n; ++r)
+            if (std::fabs(a(r, col)) > std::fabs(a(piv, col)))
+                piv = r;
+        if (std::fabs(a(piv, col)) < 1e-13 * scale)
+            return false;
+        if (piv != col) {
+            for (size_t c = 0; c < n; ++c)
+                std::swap(a(piv, c), a(col, c));
+            std::swap(b[piv], b[col]);
+        }
+        for (size_t r = col + 1; r < n; ++r) {
+            double f = a(r, col) / a(col, col);
+            if (f == 0.0)
+                continue;
+            for (size_t c = col; c < n; ++c)
+                a(r, c) -= f * a(col, c);
+            b[r] -= f * b[col];
+        }
+    }
+
+    out.assign(n, 0.0);
+    for (size_t i = n; i-- > 0;) {
+        double s = b[i];
+        for (size_t j = i + 1; j < n; ++j)
+            s -= a(i, j) * out[j];
+        out[i] = s / a(i, i);
+    }
+    return true;
+}
+
+Matrix
+invSqrtSym(const Matrix &s, double threshold)
+{
+    EigenSym eig = eigenSym(s);
+    const size_t n = s.rows();
+    Matrix out(n, n);
+    for (size_t k = 0; k < n; ++k) {
+        if (eig.values[k] < threshold) {
+            warn("invSqrtSym: dropping near-singular eigenvalue");
+            continue;
+        }
+        double w = 1.0 / std::sqrt(eig.values[k]);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j < n; ++j)
+                out(i, j) += w * eig.vectors(i, k) * eig.vectors(j, k);
+    }
+    return out;
+}
+
+} // namespace qcc

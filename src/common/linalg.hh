@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Dense linear-algebra helpers for the chemistry substrate: symmetric
+ * eigendecomposition (cyclic Jacobi), linear solves (partial-pivot
+ * Gauss), and symmetric inverse square root (Loewdin orthogonalization).
+ */
+
+#ifndef QCC_COMMON_LINALG_HH
+#define QCC_COMMON_LINALG_HH
+
+#include <vector>
+
+#include "common/matrix.hh"
+
+namespace qcc {
+
+/** Result of a symmetric eigendecomposition A = V diag(w) V^T. */
+struct EigenSym
+{
+    /** Eigenvalues in ascending order. */
+    std::vector<double> values;
+    /** Column i of vectors is the eigenvector for values[i]. */
+    Matrix vectors;
+};
+
+/**
+ * Eigendecomposition of a real symmetric matrix via the cyclic Jacobi
+ * method. Accurate and simple; fine for the <= ~20 x 20 matrices the
+ * chemistry stack produces.
+ */
+EigenSym eigenSym(const Matrix &a, int max_sweeps = 100);
+
+/** Solve A x = b with partial-pivot Gaussian elimination. */
+std::vector<double> solveLinear(Matrix a, std::vector<double> b);
+
+/**
+ * Non-panicking variant of solveLinear: returns false (leaving out
+ * untouched) when the system is numerically singular. Used by DIIS,
+ * whose Pulay matrix degenerates near convergence.
+ */
+bool trySolveLinear(Matrix a, std::vector<double> b,
+                    std::vector<double> &out);
+
+/**
+ * Symmetric inverse square root S^{-1/2}, dropping eigenvalues below
+ * threshold (near-linear-dependence guard).
+ */
+Matrix invSqrtSym(const Matrix &s, double threshold = 1e-10);
+
+} // namespace qcc
+
+#endif // QCC_COMMON_LINALG_HH

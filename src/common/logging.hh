@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Status and error reporting helpers, modeled on the gem5 logging
+ * conventions: fatal() for user errors, panic() for internal invariant
+ * violations, warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef QCC_COMMON_LOGGING_HH
+#define QCC_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace qcc {
+
+/**
+ * Terminate because of a user-level error (bad configuration, invalid
+ * argument). Prints the message and exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Terminate because of an internal library bug (an invariant that should
+ * never be violated regardless of user input). Prints and aborts.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning about suspicious but non-fatal conditions. */
+void warn(const std::string &msg);
+
+/** Print an informational status message. */
+void inform(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** Query verbosity. */
+bool isVerbose();
+
+} // namespace qcc
+
+#endif // QCC_COMMON_LOGGING_HH

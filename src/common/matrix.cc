@@ -1,0 +1,139 @@
+#include "common/matrix.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::operator+(const Matrix &o) const
+{
+    Matrix r = *this;
+    r += o;
+    return r;
+}
+
+Matrix
+Matrix::operator-(const Matrix &o) const
+{
+    Matrix r = *this;
+    r -= o;
+    return r;
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &o)
+{
+    if (nRows != o.nRows || nCols != o.nCols)
+        panic("Matrix+=: shape mismatch");
+    for (size_t i = 0; i < elems.size(); ++i)
+        elems[i] += o.elems[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator-=(const Matrix &o)
+{
+    if (nRows != o.nRows || nCols != o.nCols)
+        panic("Matrix-=: shape mismatch");
+    for (size_t i = 0; i < elems.size(); ++i)
+        elems[i] -= o.elems[i];
+    return *this;
+}
+
+Matrix
+Matrix::operator*(const Matrix &o) const
+{
+    if (nCols != o.nRows)
+        panic("Matrix*: shape mismatch");
+    Matrix r(nRows, o.nCols);
+    for (size_t i = 0; i < nRows; ++i) {
+        for (size_t k = 0; k < nCols; ++k) {
+            double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            for (size_t j = 0; j < o.nCols; ++j)
+                r(i, j) += a * o(k, j);
+        }
+    }
+    return r;
+}
+
+Matrix
+Matrix::operator*(double s) const
+{
+    Matrix r = *this;
+    for (auto &e : r.elems)
+        e *= s;
+    return r;
+}
+
+Matrix
+Matrix::t() const
+{
+    Matrix r(nCols, nRows);
+    for (size_t i = 0; i < nRows; ++i)
+        for (size_t j = 0; j < nCols; ++j)
+            r(j, i) = (*this)(i, j);
+    return r;
+}
+
+double
+Matrix::dot(const Matrix &o) const
+{
+    if (nRows != o.nRows || nCols != o.nCols)
+        panic("Matrix::dot: shape mismatch");
+    double s = 0.0;
+    for (size_t i = 0; i < elems.size(); ++i)
+        s += elems[i] * o.elems[i];
+    return s;
+}
+
+double
+Matrix::maxAbs() const
+{
+    double m = 0.0;
+    for (double e : elems)
+        m = std::max(m, std::fabs(e));
+    return m;
+}
+
+double
+Matrix::trace() const
+{
+    if (nRows != nCols)
+        panic("Matrix::trace: not square");
+    double s = 0.0;
+    for (size_t i = 0; i < nRows; ++i)
+        s += (*this)(i, i);
+    return s;
+}
+
+std::string
+Matrix::str(int precision) const
+{
+    std::string out;
+    char buf[64];
+    for (size_t i = 0; i < nRows; ++i) {
+        for (size_t j = 0; j < nCols; ++j) {
+            std::snprintf(buf, sizeof(buf), "% .*f ", precision,
+                          (*this)(i, j));
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace qcc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small dense matrix type used by the chemistry substrate (overlap,
+ * Fock, density matrices) and by linear-algebra helpers. Sizes in this
+ * library are tiny (<= ~20 x 20), so a straightforward row-major
+ * std::vector implementation is appropriate.
+ */
+
+#ifndef QCC_COMMON_MATRIX_HH
+#define QCC_COMMON_MATRIX_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qcc {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() : nRows(0), nCols(0) {}
+
+    /** Construct a rows x cols matrix filled with fill. */
+    Matrix(size_t rows, size_t cols, double fill = 0.0)
+        : nRows(rows), nCols(cols), elems(rows * cols, fill)
+    {}
+
+    /** Identity matrix of the given order. */
+    static Matrix identity(size_t n);
+
+    size_t rows() const { return nRows; }
+    size_t cols() const { return nCols; }
+
+    double &operator()(size_t r, size_t c) { return elems[r * nCols + c]; }
+
+    double
+    operator()(size_t r, size_t c) const
+    {
+        return elems[r * nCols + c];
+    }
+
+    Matrix operator+(const Matrix &o) const;
+    Matrix operator-(const Matrix &o) const;
+    Matrix operator*(const Matrix &o) const;
+    Matrix operator*(double s) const;
+    Matrix &operator+=(const Matrix &o);
+    Matrix &operator-=(const Matrix &o);
+
+    /** Transpose. */
+    Matrix t() const;
+
+    /** Frobenius-inner-product trace(A^T B) helper. */
+    double dot(const Matrix &o) const;
+
+    /** Largest absolute element. */
+    double maxAbs() const;
+
+    /** Trace (square matrices only). */
+    double trace() const;
+
+    /** Human-readable dump for debugging. */
+    std::string str(int precision = 6) const;
+
+  private:
+    size_t nRows;
+    size_t nCols;
+    std::vector<double> elems;
+};
+
+} // namespace qcc
+
+#endif // QCC_COMMON_MATRIX_HH

@@ -1,0 +1,21 @@
+#include "common/rng.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+std::vector<size_t>
+Rng::choose(size_t n, size_t k)
+{
+    if (k > n)
+        panic("Rng::choose: k > n");
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+    shuffle(all);
+    all.resize(k);
+    return all;
+}
+
+} // namespace qcc

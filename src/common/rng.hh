@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Seeded pseudo-random number generator wrapper used everywhere a
+ * reproducible stream is needed (yield Monte-Carlo, random ansatz
+ * selection, SPSA perturbations, simulator sampling).
+ */
+
+#ifndef QCC_COMMON_RNG_HH
+#define QCC_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace qcc {
+
+/**
+ * Thin deterministic wrapper around std::mt19937_64. All stochastic
+ * components of the library take an Rng by reference so experiments are
+ * reproducible from a single seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : engine(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine);
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t
+    index(uint64_t n)
+    {
+        return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine);
+    }
+
+    /** Standard normal sample scaled to the given sigma. */
+    double
+    gaussian(double mean = 0.0, double sigma = 1.0)
+    {
+        return std::normal_distribution<double>(mean, sigma)(engine);
+    }
+
+    /** Fair coin flip. */
+    bool
+    coin()
+    {
+        return index(2) == 1;
+    }
+
+    /** Fisher-Yates shuffle of an index vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i)
+            std::swap(v[i - 1], v[index(i)]);
+    }
+
+    /** Choose k distinct indices out of n (unsorted). */
+    std::vector<size_t> choose(size_t n, size_t k);
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace qcc
+
+#endif // QCC_COMMON_RNG_HH

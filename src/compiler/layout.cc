@@ -1,0 +1,165 @@
+#include "compiler/layout.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+Layout
+Layout::identity(unsigned n_logical, unsigned n_physical)
+{
+    if (n_logical > n_physical)
+        fatal("Layout: more logical than physical qubits");
+    Layout l;
+    l.l2p.resize(n_logical);
+    l.p2l.assign(n_physical, -1);
+    for (unsigned q = 0; q < n_logical; ++q) {
+        l.l2p[q] = q;
+        l.p2l[q] = int(q);
+    }
+    return l;
+}
+
+Layout
+Layout::random(unsigned n_logical, unsigned n_physical, Rng &rng)
+{
+    if (n_logical > n_physical)
+        fatal("Layout: more logical than physical qubits");
+    std::vector<unsigned> perm(n_physical);
+    std::iota(perm.begin(), perm.end(), 0u);
+    rng.shuffle(perm);
+
+    Layout l;
+    l.l2p.resize(n_logical);
+    l.p2l.assign(n_physical, -1);
+    for (unsigned q = 0; q < n_logical; ++q) {
+        l.l2p[q] = perm[q];
+        l.p2l[perm[q]] = int(q);
+    }
+    return l;
+}
+
+Layout
+Layout::fromLogToPhys(const std::vector<unsigned> &l2p_in,
+                      unsigned n_physical)
+{
+    Layout l;
+    l.l2p = l2p_in;
+    l.p2l.assign(n_physical, -1);
+    for (unsigned q = 0; q < l2p_in.size(); ++q) {
+        if (l2p_in[q] >= n_physical)
+            panic("Layout::fromLogToPhys: physical index out of range");
+        if (l.p2l[l2p_in[q]] != -1)
+            panic("Layout::fromLogToPhys: duplicate physical home");
+        l.p2l[l2p_in[q]] = int(q);
+    }
+    return l;
+}
+
+void
+Layout::swapPhysical(unsigned p1, unsigned p2)
+{
+    if (p1 >= p2l.size() || p2 >= p2l.size())
+        panic("Layout::swapPhysical: physical index out of range");
+    int a = p2l[p1], b = p2l[p2];
+    p2l[p1] = b;
+    p2l[p2] = a;
+    if (a != -1)
+        l2p[a] = p2;
+    if (b != -1)
+        l2p[b] = p1;
+}
+
+void
+Layout::validate() const
+{
+    for (unsigned q = 0; q < l2p.size(); ++q)
+        if (p2l[l2p[q]] != int(q))
+            panic("Layout::validate: inconsistent maps");
+}
+
+std::vector<std::vector<unsigned>>
+coOccurrence(const std::vector<PauliString> &strings, unsigned n)
+{
+    std::vector<std::vector<unsigned>> mat(
+        n, std::vector<unsigned>(n, 0));
+    for (const auto &p : strings) {
+        auto sup = p.support();
+        for (unsigned a : sup)
+            for (unsigned b : sup)
+                ++mat[a][b];
+    }
+    return mat;
+}
+
+Layout
+hierarchicalInitialLayout(const std::vector<PauliString> &strings,
+                          const XTree &tree)
+{
+    if (strings.empty())
+        fatal("hierarchicalInitialLayout: no strings");
+    const unsigned n = strings.front().numQubits();
+    const unsigned np = tree.graph.numQubits();
+    if (n > np)
+        fatal("hierarchicalInitialLayout: program too wide");
+
+    auto mat = coOccurrence(strings, n);
+
+    // Occurrence = row sums (diagonal counts the qubit itself once
+    // per string; off-diagonals its partners).
+    std::vector<unsigned long long> occ(n, 0);
+    for (unsigned j = 0; j < n; ++j)
+        for (unsigned k = 0; k < n; ++k)
+            occ[j] += mat[j][k];
+
+    std::vector<unsigned> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+                         return occ[a] > occ[b];
+                     });
+
+    std::vector<unsigned> l2p(n, 0);
+    std::vector<bool> used(np, false);
+
+    for (unsigned idx = 0; idx < n; ++idx) {
+        const unsigned lq = order[idx];
+        int best = -1;
+        unsigned bestLevel = ~0u;
+        long long bestShared = -1;
+        for (unsigned p = 0; p < np; ++p) {
+            if (used[p])
+                continue;
+            // A spot is available when its parent is occupied (the
+            // root is always available).
+            int par = tree.parent[p];
+            if (par != -1 && !used[unsigned(par)])
+                continue;
+            long long shared = 0;
+            if (par != -1) {
+                // Logical occupant of the parent spot.
+                for (unsigned prev = 0; prev < idx; ++prev) {
+                    if (l2p[order[prev]] == unsigned(par)) {
+                        shared = mat[lq][order[prev]];
+                        break;
+                    }
+                }
+            }
+            if (tree.level[p] < bestLevel ||
+                (tree.level[p] == bestLevel && shared > bestShared)) {
+                best = int(p);
+                bestLevel = tree.level[p];
+                bestShared = shared;
+            }
+        }
+        if (best < 0)
+            panic("hierarchicalInitialLayout: no available spot");
+        l2p[lq] = unsigned(best);
+        used[unsigned(best)] = true;
+    }
+    return Layout::fromLogToPhys(l2p, np);
+}
+
+} // namespace qcc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Logical-to-physical qubit layouts and the hierarchical initial
+ * layout of Algorithm 2: logical qubits are ranked by how many Pauli
+ * strings they participate in and placed level-by-level on the X-Tree
+ * (busiest qubits nearest the root), attaching each qubit under the
+ * already-placed parent it shares the most Pauli strings with.
+ */
+
+#ifndef QCC_COMPILER_LAYOUT_HH
+#define QCC_COMPILER_LAYOUT_HH
+
+#include <vector>
+
+#include "arch/xtree.hh"
+#include "common/rng.hh"
+#include "pauli/pauli.hh"
+
+namespace qcc {
+
+/** Bidirectional logical <-> physical map. */
+class Layout
+{
+  public:
+    Layout() = default;
+
+    /** Identity layout: logical q on physical q. */
+    static Layout identity(unsigned n_logical, unsigned n_physical);
+
+    /** Random permutation layout. */
+    static Layout random(unsigned n_logical, unsigned n_physical,
+                         Rng &rng);
+
+    /** Build from an explicit logical -> physical vector. */
+    static Layout fromLogToPhys(const std::vector<unsigned> &l2p,
+                                unsigned n_physical);
+
+    unsigned numLogical() const { return unsigned(l2p.size()); }
+    unsigned numPhysical() const { return unsigned(p2l.size()); }
+
+    /** Physical home of logical q. */
+    unsigned phys(unsigned logical) const { return l2p[logical]; }
+
+    /** Logical occupant of physical p, or -1 if free. */
+    int log(unsigned physical) const { return p2l[physical]; }
+
+    /** Exchange the occupants of two physical qubits. */
+    void swapPhysical(unsigned p1, unsigned p2);
+
+    /** Internal consistency check (panics on violation). */
+    void validate() const;
+
+  private:
+    std::vector<unsigned> l2p;
+    std::vector<int> p2l;
+};
+
+/**
+ * Algorithm 2: hierarchical initial layout from the ansatz Pauli
+ * strings and the X-Tree level structure.
+ */
+Layout hierarchicalInitialLayout(const std::vector<PauliString> &strings,
+                                 const XTree &tree);
+
+/**
+ * Co-occurrence matrix Mat(j,k) = number of strings containing both
+ * logical qubits j and k (diagonal = occurrence count). Exposed for
+ * testing and for the layout ablation bench.
+ */
+std::vector<std::vector<unsigned>>
+coOccurrence(const std::vector<PauliString> &strings, unsigned n);
+
+} // namespace qcc
+
+#endif // QCC_COMPILER_LAYOUT_HH

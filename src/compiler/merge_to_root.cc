@@ -1,0 +1,175 @@
+#include "compiler/merge_to_root.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+namespace {
+
+/** Basis-change layer for one string at current physical homes. */
+void
+emitBasisLayer(Circuit &c, const PauliString &p, const Layout &layout,
+               bool forward)
+{
+    const double angle = forward ? M_PI / 2.0 : -M_PI / 2.0;
+    for (unsigned q : p.support()) {
+        PauliOp op = p.op(q);
+        if (op == PauliOp::X)
+            c.h(layout.phys(q));
+        else if (op == PauliOp::Y)
+            c.rx(layout.phys(q), angle);
+    }
+}
+
+} // namespace
+
+MtrResult
+mergeToRootCompile(const Ansatz &ansatz,
+                   const std::vector<double> &params, const XTree &tree,
+                   const Layout &initial, bool include_hf_prep)
+{
+    if (params.size() != ansatz.nParams)
+        fatal("mergeToRootCompile: parameter count mismatch");
+    const unsigned np = tree.graph.numQubits();
+    if (ansatz.nQubits > np)
+        fatal("mergeToRootCompile: program wider than device");
+
+    MtrResult res;
+    res.initialLayout = initial;
+    res.circuit = Circuit(np);
+    Layout layout = initial;
+
+    // Future-occurrence counts per logical qubit, used to decide
+    // which active child of an inactive parent should move up.
+    std::vector<size_t> future(ansatz.nQubits, 0);
+    for (const auto &r : ansatz.rotations)
+        for (unsigned q : r.string.support())
+            ++future[q];
+
+    if (include_hf_prep) {
+        for (unsigned q = 0; q < ansatz.nQubits; ++q)
+            if ((ansatz.hfMask >> q) & 1)
+                res.circuit.x(layout.phys(q));
+    }
+
+    for (const auto &rot : ansatz.rotations) {
+        const auto sup = rot.string.support();
+        for (unsigned q : sup)
+            --future[q]; // counts now reflect *upcoming* strings only
+        if (sup.empty())
+            continue;
+        const double theta = params[rot.param] * rot.coeff;
+
+        // ---- Routing: lift actives until one merge root remains ----
+        std::vector<bool> active(np, false);
+        auto rebuildActive = [&]() {
+            std::fill(active.begin(), active.end(), false);
+            for (unsigned q : sup)
+                active[layout.phys(q)] = true;
+        };
+        rebuildActive();
+
+        while (true) {
+            // Tops: active nodes whose parent is not active.
+            std::vector<unsigned> tops;
+            for (unsigned q : sup) {
+                unsigned p = layout.phys(q);
+                int par = tree.parent[p];
+                if (par == -1 || !active[unsigned(par)])
+                    tops.push_back(p);
+            }
+            if (tops.size() <= 1)
+                break;
+
+            // Deepest top group (same inactive parent).
+            unsigned bestParent = 0, bestLevel = 0;
+            bool found = false;
+            for (unsigned v : tops) {
+                unsigned lvl = tree.level[v];
+                if (!found || lvl > bestLevel ||
+                    (lvl == bestLevel &&
+                     unsigned(tree.parent[v]) < bestParent)) {
+                    found = true;
+                    bestLevel = lvl;
+                    bestParent = unsigned(tree.parent[v]);
+                }
+            }
+
+            // Members of the chosen group; pick the mover with the
+            // most future appearances (Section V-B heuristic).
+            unsigned mover = ~0u;
+            size_t moverFuture = 0;
+            for (unsigned v : tops) {
+                if (unsigned(tree.parent[v]) != bestParent ||
+                    tree.level[v] != bestLevel)
+                    continue;
+                int lq = layout.log(v);
+                size_t f = future[unsigned(lq)];
+                if (mover == ~0u || f > moverFuture ||
+                    (f == moverFuture && v < mover)) {
+                    mover = v;
+                    moverFuture = f;
+                }
+            }
+            if (mover == ~0u)
+                panic("mergeToRootCompile: no mover found");
+
+            res.circuit.swap(mover, bestParent);
+            ++res.swapCount;
+            layout.swapPhysical(mover, bestParent);
+            rebuildActive();
+        }
+
+        // ---- Synthesis at the settled placement --------------------
+        emitBasisLayer(res.circuit, rot.string, layout, true);
+
+        // Active nodes deepest-first; each CNOTs into its parent.
+        std::vector<unsigned> nodes;
+        for (unsigned q : sup)
+            nodes.push_back(layout.phys(q));
+        std::sort(nodes.begin(), nodes.end(),
+                  [&](unsigned a, unsigned b) {
+                      if (tree.level[a] != tree.level[b])
+                          return tree.level[a] > tree.level[b];
+                      return a < b;
+                  });
+
+        unsigned mergeRoot = nodes.back(); // unique shallowest active
+        std::vector<std::pair<unsigned, unsigned>> cnots;
+        for (unsigned v : nodes) {
+            if (v == mergeRoot)
+                continue;
+            int par = tree.parent[v];
+            if (par == -1 || !active[unsigned(par)])
+                panic("mergeToRootCompile: merge tree not closed");
+            cnots.emplace_back(v, unsigned(par));
+        }
+        for (const auto &[c, t] : cnots)
+            res.circuit.cnot(c, t);
+
+        res.circuit.rz(mergeRoot, -2.0 * theta);
+
+        for (auto it = cnots.rbegin(); it != cnots.rend(); ++it)
+            res.circuit.cnot(it->first, it->second);
+
+        emitBasisLayer(res.circuit, rot.string, layout, false);
+    }
+
+    res.finalLayout = layout;
+    return res;
+}
+
+MtrResult
+mergeToRootCompile(const Ansatz &ansatz,
+                   const std::vector<double> &params, const XTree &tree,
+                   bool include_hf_prep)
+{
+    Layout init = hierarchicalInitialLayout(ansatz.strings(), tree);
+    return mergeToRootCompile(ansatz, params, tree, init,
+                              include_hf_prep);
+}
+
+} // namespace qcc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Merge-to-Root circuit synthesis and qubit routing (Algorithm 3).
+ * For each Pauli string, the compiler looks at where the string's
+ * logical qubits currently live on the X-Tree and synthesizes a CNOT
+ * merge tree adapted to that placement: active qubits whose parent is
+ * inactive are first lifted by SWAPs (choosing the child that appears
+ * most in upcoming strings, Section V-B), after which every active
+ * node's parent is active up to a single merge root, where the RZ is
+ * applied. SWAPs permanently update the mapping; synthesis of the
+ * next string adapts to it.
+ */
+
+#ifndef QCC_COMPILER_MERGE_TO_ROOT_HH
+#define QCC_COMPILER_MERGE_TO_ROOT_HH
+
+#include <vector>
+
+#include "ansatz/uccsd.hh"
+#include "arch/xtree.hh"
+#include "circuit/circuit.hh"
+#include "compiler/layout.hh"
+
+namespace qcc {
+
+/** Output of a Merge-to-Root compilation. */
+struct MtrResult
+{
+    Circuit circuit;      ///< physical circuit (SWAPs as SWAP gates)
+    Layout initialLayout;
+    Layout finalLayout;
+    size_t swapCount = 0;
+
+    /** Mapping overhead in CNOTs (3 per SWAP, paper convention). */
+    size_t overheadCnots() const { return 3 * swapCount; }
+};
+
+/**
+ * Compile an ansatz program onto an X-Tree. The initial layout is
+ * typically produced by hierarchicalInitialLayout; params bind the
+ * rotation angles (use zeros when only costs are needed).
+ */
+MtrResult mergeToRootCompile(const Ansatz &ansatz,
+                             const std::vector<double> &params,
+                             const XTree &tree, const Layout &initial,
+                             bool include_hf_prep = true);
+
+/** Convenience: hierarchical layout + Merge-to-Root in one call. */
+MtrResult mergeToRootCompile(const Ansatz &ansatz,
+                             const std::vector<double> &params,
+                             const XTree &tree,
+                             bool include_hf_prep = true);
+
+} // namespace qcc
+
+#endif // QCC_COMPILER_MERGE_TO_ROOT_HH

@@ -1,0 +1,141 @@
+#include "compiler/peephole.hh"
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+namespace {
+
+/** True if b is the exact inverse of a (same qubits). */
+bool
+inversePair(const Gate &a, const Gate &b)
+{
+    if (a.q0 != b.q0)
+        return false;
+    if (isTwoQubit(a.kind) != isTwoQubit(b.kind))
+        return false;
+    if (isTwoQubit(a.kind) && a.q1 != b.q1)
+        return false;
+
+    switch (a.kind) {
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::CNOT:
+      case GateKind::SWAP:
+        return a.kind == b.kind;
+      case GateKind::S:
+        return b.kind == GateKind::Sdg;
+      case GateKind::Sdg:
+        return b.kind == GateKind::S;
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+        return a.kind == b.kind &&
+               std::fabs(a.angle + b.angle) < 1e-12;
+    }
+    return false;
+}
+
+/** Rotations on the same axis and qubit merge by angle addition. */
+bool
+mergeableRotations(const Gate &a, const Gate &b)
+{
+    return hasAngle(a.kind) && a.kind == b.kind && a.q0 == b.q0;
+}
+
+bool
+actsOn(const Gate &g, unsigned q)
+{
+    return g.q0 == q || (isTwoQubit(g.kind) && g.q1 == q);
+}
+
+/** Gates on disjoint qubit sets commute. */
+bool
+disjoint(const Gate &a, const Gate &b)
+{
+    if (actsOn(b, a.q0))
+        return false;
+    if (isTwoQubit(a.kind) && actsOn(b, a.q1))
+        return false;
+    return true;
+}
+
+} // namespace
+
+Circuit
+cancelGates(const Circuit &c, PeepholeStats *stats, double zero_eps)
+{
+    PeepholeStats local;
+    std::vector<Gate> gates = c.gates();
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++local.passes;
+
+        std::vector<Gate> out;
+        out.reserve(gates.size());
+        for (const Gate &g : gates) {
+            // Drop zero rotations outright.
+            if (hasAngle(g.kind) &&
+                std::fabs(g.angle) < zero_eps) {
+                ++local.removedGates;
+                changed = true;
+                continue;
+            }
+
+            // Look back past commuting (disjoint) gates for a
+            // cancellation or merge partner.
+            std::optional<size_t> partner;
+            for (size_t i = out.size(); i-- > 0;) {
+                const Gate &prev = out[i];
+                if (inversePair(prev, g) ||
+                    mergeableRotations(prev, g)) {
+                    partner = i;
+                    break;
+                }
+                if (!disjoint(prev, g))
+                    break; // blocked: shares a qubit, no match
+            }
+
+            if (!partner) {
+                out.push_back(g);
+                continue;
+            }
+
+            const Gate &prev = out[*partner];
+            if (inversePair(prev, g)) {
+                out.erase(out.begin() + long(*partner));
+                local.removedGates += 2;
+                changed = true;
+            } else {
+                Gate merged = prev;
+                merged.angle += g.angle;
+                ++local.mergedRotations;
+                changed = true;
+                if (std::fabs(merged.angle) < zero_eps) {
+                    out.erase(out.begin() + long(*partner));
+                    ++local.removedGates;
+                } else {
+                    out[*partner] = merged;
+                }
+            }
+        }
+        gates = std::move(out);
+    }
+
+    Circuit result(c.numQubits());
+    for (const Gate &g : gates)
+        result.push(g);
+    if (stats)
+        *stats = local;
+    return result;
+}
+
+} // namespace qcc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Peephole gate-cancellation pass — the "deeper compiler
+ * optimization" direction Section VII sketches. Consecutive
+ * Pauli-string simulation circuits share basis-change and CNOT
+ * structure; after Merge-to-Root the mirrored suffix of one string
+ * often exactly inverts the prefix of the next. This pass cancels
+ * adjacent inverse pairs (H-H, RX(a)-RX(-a), CNOT-CNOT, SWAP-SWAP),
+ * merges adjacent rotations on the same axis and qubit, and drops
+ * zero-angle rotations, iterating to a fixed point.
+ */
+
+#ifndef QCC_COMPILER_PEEPHOLE_HH
+#define QCC_COMPILER_PEEPHOLE_HH
+
+#include "circuit/circuit.hh"
+
+namespace qcc {
+
+/** Cancellation statistics. */
+struct PeepholeStats
+{
+    size_t removedGates = 0;
+    size_t mergedRotations = 0;
+    int passes = 0;
+};
+
+/**
+ * Apply cancellation until a fixed point. Gates commute past each
+ * other only when they act on disjoint qubits, which the scan
+ * respects, so the result is exactly unitary-equivalent.
+ *
+ * @param zero_eps rotations with |angle| below this are dropped
+ */
+Circuit cancelGates(const Circuit &c, PeepholeStats *stats = nullptr,
+                    double zero_eps = 1e-12);
+
+} // namespace qcc
+
+#endif // QCC_COMPILER_PEEPHOLE_HH

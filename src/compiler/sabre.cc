@@ -1,0 +1,233 @@
+#include "compiler/sabre.hh"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+namespace {
+
+/** Dependency DAG over the gate list (per-qubit program order). */
+struct GateDag
+{
+    std::vector<std::vector<size_t>> successors;
+    std::vector<int> indegree;
+
+    explicit GateDag(const Circuit &c)
+        : successors(c.size()), indegree(c.size(), 0)
+    {
+        std::vector<int> last(c.numQubits(), -1);
+        for (size_t g = 0; g < c.size(); ++g) {
+            const Gate &gate = c.gates()[g];
+            auto link = [&](unsigned q) {
+                if (last[q] >= 0) {
+                    successors[size_t(last[q])].push_back(g);
+                    ++indegree[g];
+                }
+                last[q] = int(g);
+            };
+            link(gate.q0);
+            if (isTwoQubit(gate.kind))
+                link(gate.q1);
+        }
+    }
+};
+
+} // namespace
+
+SabreResult
+sabreCompile(const Circuit &logical, const CouplingGraph &graph,
+             const Layout &initial, const SabreOptions &opts)
+{
+    const unsigned np = graph.numQubits();
+    if (logical.numQubits() > np)
+        fatal("sabreCompile: circuit wider than device");
+
+    const auto dist = graph.distanceMatrix();
+    GateDag dag(logical);
+
+    SabreResult res;
+    res.initialLayout = initial;
+    res.circuit = Circuit(np);
+    Layout layout = initial;
+
+    const size_t stallLimit =
+        opts.stallLimit ? opts.stallLimit : size_t(10) * np;
+
+    // Ready set ordered by gate index for determinism.
+    std::set<size_t> ready;
+    for (size_t g = 0; g < logical.size(); ++g)
+        if (dag.indegree[g] == 0)
+            ready.insert(g);
+
+    std::vector<double> decay(np, 1.0);
+    size_t swapsSinceProgress = 0;
+
+    auto resolve = [&](size_t g) {
+        for (size_t s : dag.successors[g])
+            if (--dag.indegree[s] == 0)
+                ready.insert(s);
+    };
+
+    auto emit = [&](const Gate &g) {
+        Gate pg = g;
+        pg.q0 = layout.phys(g.q0);
+        if (isTwoQubit(g.kind))
+            pg.q1 = layout.phys(g.q1);
+        res.circuit.push(pg);
+    };
+
+    while (!ready.empty()) {
+        // Execute everything currently executable.
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (auto it = ready.begin(); it != ready.end();) {
+                const Gate &g = logical.gates()[*it];
+                bool runnable = !isTwoQubit(g.kind) ||
+                    graph.hasEdge(layout.phys(g.q0),
+                                  layout.phys(g.q1));
+                if (runnable) {
+                    emit(g);
+                    size_t idx = *it;
+                    it = ready.erase(it);
+                    resolve(idx);
+                    progress = true;
+                    swapsSinceProgress = 0;
+                    std::fill(decay.begin(), decay.end(), 1.0);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        if (ready.empty())
+            break;
+
+        // Front layer = blocked two-qubit gates.
+        std::vector<size_t> front(ready.begin(), ready.end());
+
+        // Extended set: upcoming two-qubit gates in BFS order.
+        std::vector<size_t> extended;
+        {
+            std::deque<size_t> bfs(front.begin(), front.end());
+            std::set<size_t> seen(front.begin(), front.end());
+            while (!bfs.empty() &&
+                   extended.size() < opts.extendedSize) {
+                size_t g = bfs.front();
+                bfs.pop_front();
+                for (size_t s : dag.successors[g]) {
+                    if (seen.insert(s).second) {
+                        if (isTwoQubit(logical.gates()[s].kind))
+                            extended.push_back(s);
+                        bfs.push_back(s);
+                    }
+                }
+            }
+        }
+
+        auto heuristic = [&](const Layout &l) {
+            double hf = 0.0;
+            for (size_t g : front) {
+                const Gate &gate = logical.gates()[g];
+                hf += dist[l.phys(gate.q0)][l.phys(gate.q1)];
+            }
+            hf /= double(front.size());
+            double he = 0.0;
+            if (!extended.empty()) {
+                for (size_t g : extended) {
+                    const Gate &gate = logical.gates()[g];
+                    he += dist[l.phys(gate.q0)][l.phys(gate.q1)];
+                }
+                he *= opts.extendedWeight / double(extended.size());
+            }
+            return hf + he;
+        };
+
+        // Candidate SWAPs: edges touching any front-layer qubit.
+        std::set<std::pair<unsigned, unsigned>> candidates;
+        for (size_t g : front) {
+            const Gate &gate = logical.gates()[g];
+            for (unsigned lq : {gate.q0, gate.q1}) {
+                unsigned p = layout.phys(lq);
+                for (unsigned nb : graph.neighbors(p)) {
+                    candidates.insert(
+                        {std::min(p, nb), std::max(p, nb)});
+                }
+            }
+        }
+        if (candidates.empty())
+            panic("sabreCompile: no candidate swaps");
+
+        std::pair<unsigned, unsigned> best = *candidates.begin();
+        double bestScore = 1e300;
+        for (const auto &cand : candidates) {
+            Layout trial = layout;
+            trial.swapPhysical(cand.first, cand.second);
+            double score = std::max(decay[cand.first],
+                                    decay[cand.second]) *
+                heuristic(trial);
+            if (score < bestScore) {
+                bestScore = score;
+                best = cand;
+            }
+        }
+
+        ++swapsSinceProgress;
+        if (swapsSinceProgress > stallLimit) {
+            // Livelock guard: route the first blocked gate greedily
+            // along a shortest path.
+            const Gate &gate = logical.gates()[front.front()];
+            unsigned p0 = layout.phys(gate.q0);
+            unsigned p1 = layout.phys(gate.q1);
+            while (dist[p0][p1] > 1) {
+                for (unsigned nb : graph.neighbors(p0)) {
+                    if (dist[nb][p1] < dist[p0][p1]) {
+                        res.circuit.swap(p0, nb);
+                        ++res.swapCount;
+                        layout.swapPhysical(p0, nb);
+                        p0 = nb;
+                        break;
+                    }
+                }
+            }
+            swapsSinceProgress = 0;
+            continue;
+        }
+
+        res.circuit.swap(best.first, best.second);
+        ++res.swapCount;
+        layout.swapPhysical(best.first, best.second);
+        decay[best.first] += opts.decayDelta;
+        decay[best.second] += opts.decayDelta;
+    }
+
+    res.finalLayout = layout;
+    return res;
+}
+
+Layout
+sabreReverseTraversalLayout(const Circuit &logical,
+                            const CouplingGraph &graph, int passes,
+                            const SabreOptions &opts)
+{
+    Layout layout =
+        Layout::identity(logical.numQubits(), graph.numQubits());
+
+    Circuit reversed(logical.numQubits());
+    for (auto it = logical.gates().rbegin();
+         it != logical.gates().rend(); ++it)
+        reversed.push(*it);
+
+    for (int p = 0; p < passes; ++p) {
+        SabreResult fwd = sabreCompile(logical, graph, layout, opts);
+        SabreResult bwd =
+            sabreCompile(reversed, graph, fwd.finalLayout, opts);
+        layout = bwd.finalLayout;
+    }
+    return layout;
+}
+
+} // namespace qcc

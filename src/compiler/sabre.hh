@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SABRE qubit router (Li, Ding, Xie, ASPLOS'19) — the paper's
+ * general-purpose compiler baseline ("SAB"). Operates on an already
+ * synthesized gate-level circuit: maintains the front layer of
+ * unresolved two-qubit gates, scores candidate SWAPs by the
+ * BFS-distance heuristic with a lookahead extended set and a decay
+ * term, and inserts the best SWAP until every gate is executable.
+ */
+
+#ifndef QCC_COMPILER_SABRE_HH
+#define QCC_COMPILER_SABRE_HH
+
+#include "arch/coupling_graph.hh"
+#include "circuit/circuit.hh"
+#include "compiler/layout.hh"
+
+namespace qcc {
+
+/** SABRE heuristic options (defaults follow the original paper). */
+struct SabreOptions
+{
+    double extendedWeight = 0.5; ///< lookahead weight W
+    size_t extendedSize = 20;    ///< |E|, lookahead window
+    double decayDelta = 0.001;   ///< decay increment per SWAP
+    size_t stallLimit = 0;       ///< 0 = auto (10 x qubits)
+};
+
+/** Routing result. */
+struct SabreResult
+{
+    Circuit circuit;
+    Layout initialLayout;
+    Layout finalLayout;
+    size_t swapCount = 0;
+
+    /** Mapping overhead in CNOTs (3 per SWAP). */
+    size_t overheadCnots() const { return 3 * swapCount; }
+};
+
+/** Route a logical circuit onto the device from a given layout. */
+SabreResult sabreCompile(const Circuit &logical,
+                         const CouplingGraph &graph,
+                         const Layout &initial,
+                         const SabreOptions &opts = {});
+
+/**
+ * SABRE's reverse-traversal initial-layout refinement: run forward
+ * and backward passes, feeding each pass's final layout into the
+ * next, and return the refined initial layout.
+ */
+Layout sabreReverseTraversalLayout(const Circuit &logical,
+                                   const CouplingGraph &graph,
+                                   int passes = 1,
+                                   const SabreOptions &opts = {});
+
+} // namespace qcc
+
+#endif // QCC_COMPILER_SABRE_HH

@@ -1,0 +1,100 @@
+#include "compiler/verify.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sim/statevector.hh"
+
+namespace qcc {
+
+bool
+respectsCoupling(const Circuit &c, const CouplingGraph &g)
+{
+    for (const auto &gate : c.gates())
+        if (isTwoQubit(gate.kind) && !g.hasEdge(gate.q0, gate.q1))
+            return false;
+    return true;
+}
+
+namespace {
+
+/** Move logical basis index bits to their physical homes. */
+uint64_t
+permuteBits(uint64_t logical_basis, const Layout &layout)
+{
+    uint64_t phys = 0;
+    for (unsigned q = 0; q < layout.numLogical(); ++q)
+        if ((logical_basis >> q) & 1)
+            phys |= uint64_t{1} << layout.phys(q);
+    return phys;
+}
+
+/** Embed a logical state into the physical register via a layout. */
+Statevector
+embed(const Statevector &logical, const Layout &layout,
+      unsigned n_physical)
+{
+    Statevector out(n_physical);
+    out.amplitudes().assign(out.dim(), cplx(0, 0));
+    for (uint64_t b = 0; b < logical.dim(); ++b)
+        out.amplitudes()[permuteBits(b, layout)] =
+            logical.amplitudes()[b];
+    return out;
+}
+
+bool
+statesMatch(const Statevector &a, const Statevector &b, double tol)
+{
+    if (a.dim() != b.dim())
+        return false;
+    double maxDiff = 0.0;
+    for (size_t i = 0; i < a.dim(); ++i)
+        maxDiff = std::max(maxDiff,
+                           std::abs(a.amplitudes()[i] -
+                                    b.amplitudes()[i]));
+    return maxDiff <= tol;
+}
+
+} // namespace
+
+bool
+checkCompiledEquivalence(const Circuit &compiled, const Circuit &logical,
+                         const Layout &initial,
+                         const Layout &final_layout, int trials,
+                         double tol, uint64_t seed)
+{
+    const unsigned nl = logical.numQubits();
+    const unsigned np = compiled.numQubits();
+    Rng rng(seed);
+
+    auto checkState = [&](Statevector psi) {
+        psi.normalize();
+        // Left side: run the compiled circuit from the embedded state.
+        Statevector lhs = embed(psi, initial, np);
+        lhs.applyCircuit(compiled);
+        // Right side: run the logical circuit, embed via final map.
+        Statevector logicalOut = psi;
+        logicalOut.applyCircuit(logical);
+        Statevector rhs = embed(logicalOut, final_layout, np);
+        return statesMatch(lhs, rhs, tol);
+    };
+
+    if (trials == 0 && nl <= 6) {
+        for (uint64_t b = 0; b < (uint64_t{1} << nl); ++b)
+            if (!checkState(Statevector(nl, b)))
+                return false;
+        return true;
+    }
+
+    for (int t = 0; t < std::max(trials, 1); ++t) {
+        Statevector psi(nl);
+        for (auto &amp : psi.amplitudes())
+            amp = cplx(rng.gaussian(), rng.gaussian());
+        if (!checkState(std::move(psi)))
+            return false;
+    }
+    return true;
+}
+
+} // namespace qcc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Compiler verification: coupling-constraint checking for routed
+ * circuits and permutation-aware unitary equivalence between a
+ * compiled physical circuit and its logical source. A compiled
+ * circuit C with initial mapping pi0 and final mapping pi1 is correct
+ * iff C * M(pi0) == M(pi1) * U_logical on every state, where M(pi)
+ * embeds logical basis states onto their physical homes.
+ */
+
+#ifndef QCC_COMPILER_VERIFY_HH
+#define QCC_COMPILER_VERIFY_HH
+
+#include <cstdint>
+
+#include "arch/coupling_graph.hh"
+#include "circuit/circuit.hh"
+#include "compiler/layout.hh"
+
+namespace qcc {
+
+/** True if every two-qubit gate acts on a coupled pair. */
+bool respectsCoupling(const Circuit &c, const CouplingGraph &g);
+
+/**
+ * Randomized equivalence check (exact up to tol on `trials` random
+ * states). Exhaustive over basis states when the logical circuit has
+ * <= 6 qubits and trials == 0.
+ */
+bool checkCompiledEquivalence(const Circuit &compiled,
+                              const Circuit &logical,
+                              const Layout &initial,
+                              const Layout &final_layout,
+                              int trials = 4, double tol = 1e-9,
+                              uint64_t seed = 99);
+
+} // namespace qcc
+
+#endif // QCC_COMPILER_VERIFY_HH

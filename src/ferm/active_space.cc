@@ -1,0 +1,120 @@
+#include "ferm/active_space.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+ActiveSpaceResult
+applyActiveSpace(const MoIntegrals &mo,
+                 const std::vector<double> &orbital_energies,
+                 int n_electrons, unsigned n_frozen, int target_spatial)
+{
+    const size_t m = mo.nOrb;
+    if (orbital_energies.size() != m)
+        panic("applyActiveSpace: orbital energy count mismatch");
+    if (n_electrons % 2)
+        fatal("applyActiveSpace: open shell not supported");
+    const size_t nOccTotal = size_t(n_electrons / 2);
+    if (n_frozen > nOccTotal)
+        fatal("applyActiveSpace: freezing unoccupied orbitals");
+
+    ActiveSpaceResult res;
+    for (size_t i = 0; i < n_frozen; ++i)
+        res.frozenMos.push_back(i);
+
+    std::vector<size_t> active;
+    for (size_t i = n_frozen; i < m; ++i)
+        active.push_back(i);
+
+    const size_t nOccActive = nOccTotal - n_frozen;
+
+    // Shrink to the target by removing virtual orbitals from the top.
+    if (target_spatial >= 0) {
+        if (size_t(target_spatial) < nOccActive)
+            fatal("applyActiveSpace: target below occupied count");
+        auto isDegeneratePartner = [&](size_t idxInActive) {
+            const double e = orbital_energies[active[idxInActive]];
+            for (size_t j = nOccActive; j < active.size(); ++j) {
+                if (j == idxInActive)
+                    continue;
+                if (std::fabs(orbital_energies[active[j]] - e) < 1e-6)
+                    return true;
+            }
+            return false;
+        };
+        while (active.size() > size_t(target_spatial)) {
+            const size_t excess = active.size() - target_spatial;
+            size_t top = active.size() - 1; // highest-energy virtual
+            if (excess >= 2) {
+                // Prefer removing the highest degenerate pair whole.
+                bool removedPair = false;
+                for (size_t j = active.size(); j-- > nOccActive + 1;) {
+                    double ej = orbital_energies[active[j]];
+                    double ei = orbital_energies[active[j - 1]];
+                    if (std::fabs(ej - ei) < 1e-6) {
+                        res.removedMos.push_back(active[j]);
+                        res.removedMos.push_back(active[j - 1]);
+                        active.erase(active.begin() + j);
+                        active.erase(active.begin() + (j - 1));
+                        removedPair = true;
+                        break;
+                    }
+                }
+                if (removedPair)
+                    continue;
+            }
+            // Remove the highest virtual that is not half of a
+            // degenerate pair, if one exists; otherwise the top.
+            size_t choice = top;
+            for (size_t j = active.size(); j-- > nOccActive;) {
+                if (!isDegeneratePartner(j)) {
+                    choice = j;
+                    break;
+                }
+            }
+            res.removedMos.push_back(active[choice]);
+            active.erase(active.begin() + choice);
+        }
+    }
+    res.activeMos = active;
+    res.nActiveElectrons = unsigned(2 * nOccActive);
+
+    // Frozen-core energy and effective one-body integrals:
+    //   E_fc   = sum_f 2 h_ff + sum_fg [2(ff|gg) - (fg|gf)]
+    //   h'_pq  = h_pq + sum_f [2(pq|ff) - (pf|fq)]
+    double eFrozen = 0.0;
+    for (size_t f : res.frozenMos) {
+        eFrozen += 2.0 * mo.h(f, f);
+        for (size_t g : res.frozenMos)
+            eFrozen += 2.0 * mo.eriAt(f, f, g, g) -
+                mo.eriAt(f, g, g, f);
+    }
+
+    const size_t na = active.size();
+    res.active.nOrb = na;
+    res.active.coreEnergy = mo.coreEnergy + eFrozen;
+    res.active.h = Matrix(na, na);
+    res.active.eri.assign(na * na * na * na, 0.0);
+
+    for (size_t p = 0; p < na; ++p) {
+        for (size_t q = 0; q < na; ++q) {
+            double h = mo.h(active[p], active[q]);
+            for (size_t f : res.frozenMos)
+                h += 2.0 * mo.eriAt(active[p], active[q], f, f) -
+                    mo.eriAt(active[p], f, f, active[q]);
+            res.active.h(p, q) = h;
+        }
+    }
+    for (size_t p = 0; p < na; ++p)
+        for (size_t q = 0; q < na; ++q)
+            for (size_t r = 0; r < na; ++r)
+                for (size_t s = 0; s < na; ++s)
+                    res.active.eriRef(p, q, r, s) = mo.eriAt(
+                        active[p], active[q], active[r], active[s]);
+    return res;
+}
+
+} // namespace qcc

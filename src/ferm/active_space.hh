@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Frozen-core / active-space reduction of MO integrals. The paper
+ * freezes core electrons and simulates only the outermost electrons
+ * (Section VI-A); the per-molecule settings that reproduce Table I's
+ * qubit counts live in chem/molecules.hh.
+ */
+
+#ifndef QCC_FERM_ACTIVE_SPACE_HH
+#define QCC_FERM_ACTIVE_SPACE_HH
+
+#include <vector>
+
+#include "chem/mo_integrals.hh"
+
+namespace qcc {
+
+/** Result of an active-space reduction. */
+struct ActiveSpaceResult
+{
+    /** Reduced integrals; coreEnergy includes nuclear repulsion and
+     *  the frozen-core mean-field energy. */
+    MoIntegrals active;
+    unsigned nActiveElectrons = 0;
+    std::vector<size_t> frozenMos;  ///< original MO indices
+    std::vector<size_t> activeMos;  ///< original MO indices kept
+    std::vector<size_t> removedMos; ///< removed virtual MO indices
+};
+
+/**
+ * Freeze the lowest n_frozen MOs and, if target_spatial >= 0, shrink
+ * the active space to that many orbitals by removing virtual MOs from
+ * the top: degenerate pairs are removed together when the remaining
+ * budget allows (this drops e.g. the LiH pi orbitals, as the standard
+ * chemistry setup does), otherwise the highest non-degenerate virtual
+ * goes first.
+ *
+ * @param mo full-space MO integrals (coreEnergy = nuclear repulsion)
+ * @param orbital_energies ascending HF orbital energies
+ * @param n_electrons total electron count of the molecule
+ */
+ActiveSpaceResult
+applyActiveSpace(const MoIntegrals &mo,
+                 const std::vector<double> &orbital_energies,
+                 int n_electrons, unsigned n_frozen,
+                 int target_spatial = -1);
+
+} // namespace qcc
+
+#endif // QCC_FERM_ACTIVE_SPACE_HH

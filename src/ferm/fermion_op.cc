@@ -1,0 +1,64 @@
+#include "ferm/fermion_op.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+void
+FermionOp::add(std::complex<double> coeff, std::vector<LadderOp> ops)
+{
+    for (const auto &op : ops)
+        if (op.mode >= nModes)
+            panic("FermionOp::add: mode out of range");
+    termList.push_back({coeff, std::move(ops)});
+}
+
+void
+FermionOp::add(const FermionOp &other)
+{
+    for (const auto &t : other.termList)
+        termList.push_back(t);
+}
+
+FermionOp
+FermionOp::adjoint() const
+{
+    FermionOp out(nModes);
+    for (const auto &t : termList) {
+        std::vector<LadderOp> rev(t.ops.rbegin(), t.ops.rend());
+        for (auto &op : rev)
+            op.creation = !op.creation;
+        out.termList.push_back({std::conj(t.coeff), std::move(rev)});
+    }
+    return out;
+}
+
+void
+FermionOp::scale(std::complex<double> s)
+{
+    for (auto &t : termList)
+        t.coeff *= s;
+}
+
+std::string
+FermionOp::str() const
+{
+    std::string out;
+    char buf[96];
+    for (const auto &t : termList) {
+        std::snprintf(buf, sizeof(buf), "(%+.6f%+.6fi)",
+                      t.coeff.real(), t.coeff.imag());
+        out += buf;
+        for (const auto &op : t.ops) {
+            std::snprintf(buf, sizeof(buf), " a%s_%u",
+                          op.creation ? "+" : "", op.mode);
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace qcc

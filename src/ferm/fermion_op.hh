@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Second-quantized fermionic operators: sums of ladder-operator
+ * products with complex coefficients. These are the inputs to the
+ * Jordan-Wigner transform that produces the Pauli-string IR.
+ */
+
+#ifndef QCC_FERM_FERMION_OP_HH
+#define QCC_FERM_FERMION_OP_HH
+
+#include <complex>
+#include <string>
+#include <vector>
+
+namespace qcc {
+
+/** One ladder operator: a_mode or a+_mode. */
+struct LadderOp
+{
+    unsigned mode;
+    bool creation;
+};
+
+/** One term: coeff * product of ladder operators (left to right). */
+struct FermionTerm
+{
+    std::complex<double> coeff;
+    std::vector<LadderOp> ops;
+};
+
+/** A sum of fermionic terms over a fixed number of modes. */
+class FermionOp
+{
+  public:
+    explicit FermionOp(unsigned n_modes = 0) : nModes(n_modes) {}
+
+    unsigned numModes() const { return nModes; }
+    const std::vector<FermionTerm> &terms() const { return termList; }
+
+    /** Append coeff * prod(ops). */
+    void add(std::complex<double> coeff, std::vector<LadderOp> ops);
+
+    /** Append all terms of another operator. */
+    void add(const FermionOp &other);
+
+    /** Hermitian adjoint: reverse each product, conjugate coeffs. */
+    FermionOp adjoint() const;
+
+    /** Multiply all coefficients by s. */
+    void scale(std::complex<double> s);
+
+    /** Readable dump, e.g. "(0.5) a+_2 a_0". */
+    std::string str() const;
+
+  private:
+    unsigned nModes;
+    std::vector<FermionTerm> termList;
+};
+
+} // namespace qcc
+
+#endif // QCC_FERM_FERMION_OP_HH

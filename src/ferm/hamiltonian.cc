@@ -1,0 +1,107 @@
+#include "ferm/hamiltonian.hh"
+
+#include <cmath>
+
+#include "chem/basis.hh"
+#include "chem/hartree_fock.hh"
+#include "chem/integrals.hh"
+#include "common/logging.hh"
+#include "ferm/fermion_op.hh"
+#include "ferm/jordan_wigner.hh"
+
+namespace qcc {
+
+PauliSum
+buildQubitHamiltonian(const MoIntegrals &act)
+{
+    const unsigned no = unsigned(act.nOrb);
+    const unsigned nso = 2 * no;
+
+    FermionOp h(nso);
+    // Spin orbital index: p_alpha = p, p_beta = p + no.
+    auto so = [&](unsigned spatial, int spin) {
+        return spatial + (spin ? no : 0);
+    };
+
+    for (unsigned p = 0; p < no; ++p) {
+        for (unsigned q = 0; q < no; ++q) {
+            const double hpq = act.h(p, q);
+            if (std::fabs(hpq) < 1e-12)
+                continue;
+            for (int s = 0; s < 2; ++s)
+                h.add(hpq, {{so(p, s), true}, {so(q, s), false}});
+        }
+    }
+
+    for (unsigned p = 0; p < no; ++p) {
+        for (unsigned q = 0; q < no; ++q) {
+            for (unsigned r = 0; r < no; ++r) {
+                for (unsigned s = 0; s < no; ++s) {
+                    const double g = act.eriAt(p, q, r, s);
+                    if (std::fabs(g) < 1e-12)
+                        continue;
+                    // 1/2 (pq|rs) a+_ps1 a+_rs2 a_ss2 a_qs1
+                    for (int s1 = 0; s1 < 2; ++s1) {
+                        for (int s2 = 0; s2 < 2; ++s2) {
+                            h.add(0.5 * g, {{so(p, s1), true},
+                                            {so(r, s2), true},
+                                            {so(s, s2), false},
+                                            {so(q, s1), false}});
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    PauliSum qubitH = jordanWigner(h);
+    qubitH.add(act.coreEnergy, PauliString(nso));
+    qubitH.simplify();
+
+    if (qubitH.maxImagCoeff() > 1e-9)
+        panic("buildQubitHamiltonian: non-Hermitian result");
+    return qubitH;
+}
+
+uint64_t
+hartreeFockMask(unsigned n_spatial, unsigned n_electrons)
+{
+    if (n_electrons % 2)
+        fatal("hartreeFockMask: open shell not supported");
+    const unsigned nOcc = n_electrons / 2;
+    if (nOcc > n_spatial)
+        fatal("hartreeFockMask: too many electrons");
+    uint64_t mask = 0;
+    for (unsigned i = 0; i < nOcc; ++i) {
+        mask |= uint64_t{1} << i;              // alpha block
+        mask |= uint64_t{1} << (i + n_spatial); // beta block
+    }
+    return mask;
+}
+
+MolecularProblem
+buildMolecularProblem(const BenchmarkMolecule &entry,
+                      double bond_angstrom, int n_gauss)
+{
+    Molecule mol = entry.build(bond_angstrom);
+    BasisSet basis = BasisSet::stoNg(mol, n_gauss);
+    IntegralTables ints = computeIntegrals(basis, mol);
+    ScfResult scf = runRhf(ints, mol);
+
+    MoIntegrals mo = transformToMo(ints, scf.coeffs,
+                                   mol.nuclearRepulsion());
+    ActiveSpaceResult as =
+        applyActiveSpace(mo, scf.orbitalEnergies, mol.nElectrons(),
+                         entry.nFrozen, entry.targetSpatial);
+
+    MolecularProblem prob;
+    prob.hamiltonian = buildQubitHamiltonian(as.active);
+    prob.nSpatial = unsigned(as.active.nOrb);
+    prob.nElectrons = as.nActiveElectrons;
+    prob.nQubits = 2 * prob.nSpatial;
+    prob.hartreeFockEnergy = scf.energyTotal;
+    prob.activeSpace = std::move(as);
+    return prob;
+}
+
+} // namespace qcc

@@ -1,0 +1,39 @@
+#include "ferm/jordan_wigner.hh"
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+PauliSum
+jwLadder(unsigned mode, unsigned n_modes, bool creation)
+{
+    if (mode >= n_modes)
+        panic("jwLadder: mode out of range");
+    const uint64_t chain = (uint64_t{1} << mode) - 1; // Z on 0..mode-1
+    const uint64_t here = uint64_t{1} << mode;
+
+    PauliSum out(n_modes);
+    // (X_p +- i Y_p)/2, each with the Z chain below.
+    out.add(0.5, PauliString(n_modes, here, chain));
+    std::complex<double> yCoeff(0.0, creation ? -0.5 : 0.5);
+    out.add(yCoeff, PauliString(n_modes, here, chain | here));
+    return out;
+}
+
+PauliSum
+jordanWigner(const FermionOp &op)
+{
+    const unsigned n = op.numModes();
+    PauliSum total(n);
+    for (const auto &t : op.terms()) {
+        PauliSum prod(n);
+        prod.add(t.coeff, PauliString(n)); // coeff * identity
+        for (const auto &lop : t.ops)
+            prod = prod.product(jwLadder(lop.mode, n, lop.creation));
+        total.add(prod);
+    }
+    total.simplify();
+    return total;
+}
+
+} // namespace qcc

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Jordan-Wigner transform: fermionic ladder operators to Pauli sums.
+ * Mode p maps to qubit p with a_p = Z_{p-1}...Z_0 (X_p + i Y_p)/2, so
+ * qubit |1> means "orbital occupied". The library uses block-spin
+ * ordering (all alpha spin orbitals first, then all beta), matching
+ * the ansatz structure whose costs Table I reports.
+ */
+
+#ifndef QCC_FERM_JORDAN_WIGNER_HH
+#define QCC_FERM_JORDAN_WIGNER_HH
+
+#include "ferm/fermion_op.hh"
+#include "pauli/pauli_sum.hh"
+
+namespace qcc {
+
+/** JW image of a single ladder operator (two Pauli terms). */
+PauliSum jwLadder(unsigned mode, unsigned n_modes, bool creation);
+
+/** JW image of a full fermionic operator (simplified). */
+PauliSum jordanWigner(const FermionOp &op);
+
+} // namespace qcc
+
+#endif // QCC_FERM_JORDAN_WIGNER_HH

@@ -1,0 +1,63 @@
+#include "pauli/grouping.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+bool
+qubitWiseCommute(const PauliString &a, const PauliString &b)
+{
+    // Conflict where both are non-identity and different.
+    uint64_t both = a.supportMask() & b.supportMask();
+    uint64_t diff = (a.xMask() ^ b.xMask()) | (a.zMask() ^ b.zMask());
+    return (both & diff) == 0;
+}
+
+std::vector<MeasurementGroup>
+groupQubitWise(const PauliSum &h)
+{
+    std::vector<size_t> order(h.numTerms());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return std::abs(h.terms()[a].coeff) >
+                                std::abs(h.terms()[b].coeff);
+                     });
+
+    std::vector<MeasurementGroup> groups;
+    for (size_t idx : order) {
+        const PauliString &p = h.terms()[idx].string;
+        bool placed = false;
+        for (auto &g : groups) {
+            if (!qubitWiseCommute(g.basis, p))
+                continue;
+            g.termIndices.push_back(idx);
+            // Extend the family basis where the newcomer is
+            // non-identity.
+            PauliString merged(
+                g.basis.numQubits(),
+                g.basis.xMask() | p.xMask(),
+                g.basis.zMask() | p.zMask());
+            g.basis = merged;
+            placed = true;
+            break;
+        }
+        if (!placed)
+            groups.push_back({{idx}, p});
+    }
+    return groups;
+}
+
+double
+groupingReduction(const PauliSum &h,
+                  const std::vector<MeasurementGroup> &groups)
+{
+    if (groups.empty())
+        return 1.0;
+    return double(h.numTerms()) / double(groups.size());
+}
+
+} // namespace qcc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Measurement grouping: partition a Hamiltonian's Pauli strings into
+ * qubit-wise commuting (QWC) families that can be estimated from one
+ * measurement setting each. This is the inner-loop optimization the
+ * paper cites as orthogonal/complementary to its techniques
+ * (Section VIII-A) — fewer circuit executions per energy evaluation.
+ */
+
+#ifndef QCC_PAULI_GROUPING_HH
+#define QCC_PAULI_GROUPING_HH
+
+#include <vector>
+
+#include "pauli/pauli_sum.hh"
+
+namespace qcc {
+
+/** One measurement family. */
+struct MeasurementGroup
+{
+    /** Indices into the source sum's term list. */
+    std::vector<size_t> termIndices;
+    /**
+     * The family's shared measurement basis: on each qubit, the
+     * unique non-identity operator among members (I where all
+     * members are I).
+     */
+    PauliString basis;
+};
+
+/**
+ * True if two strings are qubit-wise commuting: on every qubit the
+ * operators are equal or at least one is the identity.
+ */
+bool qubitWiseCommute(const PauliString &a, const PauliString &b);
+
+/**
+ * Greedy first-fit QWC grouping (the standard baseline grouping
+ * heuristic). Terms are scanned in descending |coefficient| order
+ * and placed in the first compatible family.
+ */
+std::vector<MeasurementGroup> groupQubitWise(const PauliSum &h);
+
+/** Number of measurement settings saved vs. one-term-per-setting. */
+double groupingReduction(const PauliSum &h,
+                         const std::vector<MeasurementGroup> &groups);
+
+} // namespace qcc
+
+#endif // QCC_PAULI_GROUPING_HH

@@ -1,0 +1,172 @@
+#include "pauli/pauli.hh"
+
+#include <bit>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+char
+pauliChar(PauliOp op)
+{
+    switch (op) {
+      case PauliOp::I: return 'I';
+      case PauliOp::X: return 'X';
+      case PauliOp::Y: return 'Y';
+      case PauliOp::Z: return 'Z';
+    }
+    return '?';
+}
+
+PauliString::PauliString(unsigned n) : nQubits(n), x(0), z(0)
+{
+    if (n > 64)
+        panic("PauliString: more than 64 qubits unsupported");
+}
+
+PauliString::PauliString(unsigned n, uint64_t x_mask, uint64_t z_mask)
+    : nQubits(n), x(x_mask), z(z_mask)
+{
+    if (n > 64)
+        panic("PauliString: more than 64 qubits unsupported");
+    uint64_t valid = (n == 64) ? ~0ull : ((1ull << n) - 1);
+    if ((x & ~valid) || (z & ~valid))
+        panic("PauliString: mask exceeds qubit count");
+}
+
+PauliString
+PauliString::fromString(const std::string &s)
+{
+    PauliString p(unsigned(s.size()));
+    for (size_t i = 0; i < s.size(); ++i) {
+        unsigned q = unsigned(s.size() - 1 - i);
+        switch (std::toupper(s[i])) {
+          case 'I': break;
+          case 'X': p.setOp(q, PauliOp::X); break;
+          case 'Y': p.setOp(q, PauliOp::Y); break;
+          case 'Z': p.setOp(q, PauliOp::Z); break;
+          default:
+            fatal("PauliString::fromString: bad character in " + s);
+        }
+    }
+    return p;
+}
+
+PauliString
+PauliString::single(unsigned n, unsigned q, PauliOp op)
+{
+    PauliString p(n);
+    p.setOp(q, op);
+    return p;
+}
+
+PauliOp
+PauliString::op(unsigned q) const
+{
+    if (q >= nQubits)
+        panic("PauliString::op: qubit out of range");
+    bool xb = (x >> q) & 1, zb = (z >> q) & 1;
+    if (xb && zb)
+        return PauliOp::Y;
+    if (xb)
+        return PauliOp::X;
+    if (zb)
+        return PauliOp::Z;
+    return PauliOp::I;
+}
+
+void
+PauliString::setOp(unsigned q, PauliOp op)
+{
+    if (q >= nQubits)
+        panic("PauliString::setOp: qubit out of range");
+    uint64_t bit = 1ull << q;
+    x &= ~bit;
+    z &= ~bit;
+    if (op == PauliOp::X || op == PauliOp::Y)
+        x |= bit;
+    if (op == PauliOp::Z || op == PauliOp::Y)
+        z |= bit;
+}
+
+unsigned
+PauliString::weight() const
+{
+    return unsigned(std::popcount(x | z));
+}
+
+std::vector<unsigned>
+PauliString::support() const
+{
+    std::vector<unsigned> qs;
+    uint64_t m = x | z;
+    while (m) {
+        unsigned q = unsigned(std::countr_zero(m));
+        qs.push_back(q);
+        m &= m - 1;
+    }
+    return qs;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    unsigned anti = unsigned(std::popcount(x & other.z) +
+                             std::popcount(z & other.x));
+    return (anti & 1) == 0;
+}
+
+std::pair<std::complex<double>, PauliString>
+PauliString::product(const PauliString &other) const
+{
+    if (nQubits != other.nQubits)
+        panic("PauliString::product: qubit count mismatch");
+
+    uint64_t x3 = x ^ other.x;
+    uint64_t z3 = z ^ other.z;
+
+    // Phase: per qubit i^{y1 + y2 - y3 + 2*(z1 & x2)} with y = x & z.
+    int e = std::popcount(x & z) + std::popcount(other.x & other.z) -
+            std::popcount(x3 & z3) + 2 * std::popcount(z & other.x);
+    e = ((e % 4) + 4) % 4;
+
+    static const std::complex<double> phases[4] = {
+        {1, 0}, {0, 1}, {-1, 0}, {0, -1}
+    };
+    return {phases[e], PauliString(nQubits, x3, z3)};
+}
+
+std::string
+PauliString::str() const
+{
+    std::string s;
+    s.reserve(nQubits);
+    for (unsigned q = nQubits; q-- > 0;)
+        s += pauliChar(op(q));
+    return s;
+}
+
+size_t
+PauliStringHash::operator()(const PauliString &p) const
+{
+    uint64_t h = p.xMask() * 0x9e3779b97f4a7c15ull;
+    h ^= p.zMask() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= uint64_t(p.numQubits()) * 0xff51afd7ed558ccdull;
+    return size_t(h);
+}
+
+unsigned
+importanceDecay(const PauliString &pa, const PauliString &ph)
+{
+    if (pa.numQubits() != ph.numQubits())
+        panic("importanceDecay: qubit count mismatch");
+    // Qubits where both strings are non-identity:
+    uint64_t both = pa.supportMask() & ph.supportMask();
+    // ... and the operators differ:
+    uint64_t diff = (pa.xMask() ^ ph.xMask()) | (pa.zMask() ^ ph.zMask());
+    unsigned effective = unsigned(std::popcount(both & diff));
+    return pa.numQubits() - effective;
+}
+
+} // namespace qcc

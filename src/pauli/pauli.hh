@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Pauli string intermediate representation. Pauli strings are the
+ * paper's key abstraction: the Hamiltonian is a weighted sum of them,
+ * the UCCSD ansatz is a sequence of their time-evolution circuits, and
+ * the compiler consumes them directly (Section II-A).
+ *
+ * A string is stored as two bitmasks (x, z); the operator on qubit i is
+ *   (x,z) = (0,0) -> I, (1,0) -> X, (1,1) -> Y, (0,1) -> Z,
+ * i.e. P = i^{|x&z|} X^x Z^z. This gives O(1) products, commutation
+ * tests, and support queries for up to 64 qubits.
+ */
+
+#ifndef QCC_PAULI_PAULI_HH
+#define QCC_PAULI_PAULI_HH
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcc {
+
+/** Single-qubit Pauli operator label. */
+enum class PauliOp : uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+/** Printable character for a Pauli operator. */
+char pauliChar(PauliOp op);
+
+/**
+ * An n-qubit Pauli string G_{n-1} ... G_1 G_0 with G_i in {I,X,Y,Z}.
+ * Qubit 0 is the rightmost character in the printed form, matching the
+ * paper's notation (e.g. exp(i theta X3 I2 Y1 Z0) prints as "XIYZ").
+ */
+class PauliString
+{
+  public:
+    /** Identity string on n qubits. */
+    explicit PauliString(unsigned n = 0);
+
+    /** Construct from explicit masks. */
+    PauliString(unsigned n, uint64_t x_mask, uint64_t z_mask);
+
+    /**
+     * Parse from the printed form: leftmost character is qubit n-1.
+     * Accepts characters I, X, Y, Z (case-insensitive).
+     */
+    static PauliString fromString(const std::string &s);
+
+    /** Identity except op on qubit q. */
+    static PauliString single(unsigned n, unsigned q, PauliOp op);
+
+    unsigned numQubits() const { return nQubits; }
+    uint64_t xMask() const { return x; }
+    uint64_t zMask() const { return z; }
+
+    /** Operator acting on qubit q. */
+    PauliOp op(unsigned q) const;
+
+    /** Replace the operator on qubit q. */
+    void setOp(unsigned q, PauliOp op);
+
+    /** Number of non-identity positions. */
+    unsigned weight() const;
+
+    /** True if every position is the identity. */
+    bool isIdentity() const { return (x | z) == 0; }
+
+    /** Mask of non-identity qubits. */
+    uint64_t supportMask() const { return x | z; }
+
+    /** Indices of non-identity qubits, ascending. */
+    std::vector<unsigned> support() const;
+
+    /** True if the strings commute (symplectic form vanishes). */
+    bool commutesWith(const PauliString &other) const;
+
+    /**
+     * Product this * other. The returned phase is in {1, i, -1, -i};
+     * the string part is the canonical (Hermitian-Y) form.
+     */
+    std::pair<std::complex<double>, PauliString>
+    product(const PauliString &other) const;
+
+    /** Printed form, qubit n-1 leftmost. */
+    std::string str() const;
+
+    bool operator==(const PauliString &o) const = default;
+
+  private:
+    unsigned nQubits;
+    uint64_t x;
+    uint64_t z;
+};
+
+/** Hash functor so strings can key unordered containers. */
+struct PauliStringHash
+{
+    size_t operator()(const PauliString &p) const;
+};
+
+/**
+ * Importance decay factor d(Pa, PH) from Algorithm 1: the number of
+ * qubits where (a) Pa is I, or (b) PH is I, or (c) both operators are
+ * equal and non-identity. Equivalently n minus the count of qubits where
+ * both are non-identity and different.
+ */
+unsigned importanceDecay(const PauliString &pa, const PauliString &ph);
+
+} // namespace qcc
+
+#endif // QCC_PAULI_PAULI_HH

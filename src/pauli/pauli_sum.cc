@@ -1,0 +1,127 @@
+#include "pauli/pauli_sum.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+void
+PauliSum::add(std::complex<double> w, const PauliString &p)
+{
+    if (nQubits == 0)
+        nQubits = p.numQubits();
+    if (p.numQubits() != nQubits)
+        panic("PauliSum::add: qubit count mismatch");
+    termList.push_back({w, p});
+}
+
+void
+PauliSum::add(const PauliSum &other)
+{
+    for (const auto &t : other.termList)
+        add(t.coeff, t.string);
+}
+
+void
+PauliSum::simplify(double eps)
+{
+    std::unordered_map<PauliString, std::complex<double>,
+                       PauliStringHash> acc;
+    std::vector<PauliString> order;
+    for (const auto &t : termList) {
+        auto [it, inserted] = acc.try_emplace(t.string, 0.0);
+        if (inserted)
+            order.push_back(t.string);
+        it->second += t.coeff;
+    }
+    termList.clear();
+    for (const auto &p : order) {
+        std::complex<double> w = acc.at(p);
+        if (std::abs(w) > eps)
+            termList.push_back({w, p});
+    }
+}
+
+PauliSum
+PauliSum::product(const PauliSum &other) const
+{
+    PauliSum out(nQubits);
+    for (const auto &a : termList) {
+        for (const auto &b : other.termList) {
+            auto [phase, p] = a.string.product(b.string);
+            out.add(a.coeff * b.coeff * phase, p);
+        }
+    }
+    out.simplify();
+    return out;
+}
+
+void
+PauliSum::scale(std::complex<double> s)
+{
+    for (auto &t : termList)
+        t.coeff *= s;
+}
+
+double
+PauliSum::maxImagCoeff() const
+{
+    double m = 0.0;
+    for (const auto &t : termList)
+        m = std::max(m, std::fabs(t.coeff.imag()));
+    return m;
+}
+
+std::complex<double>
+PauliSum::identityCoeff() const
+{
+    std::complex<double> w = 0.0;
+    for (const auto &t : termList)
+        if (t.string.isIdentity())
+            w += t.coeff;
+    return w;
+}
+
+double
+PauliSum::normL1() const
+{
+    double s = 0.0;
+    for (const auto &t : termList)
+        s += std::abs(t.coeff);
+    return s;
+}
+
+std::string
+PauliSum::str(size_t max_terms) const
+{
+    std::vector<const PauliTerm *> sorted;
+    sorted.reserve(termList.size());
+    for (const auto &t : termList)
+        sorted.push_back(&t);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const PauliTerm *a, const PauliTerm *b) {
+                  return std::abs(a->coeff) > std::abs(b->coeff);
+              });
+
+    std::string out;
+    char buf[128];
+    size_t shown = std::min(max_terms, sorted.size());
+    for (size_t i = 0; i < shown; ++i) {
+        std::snprintf(buf, sizeof(buf), "%+.6f%+.6fi  %s\n",
+                      sorted[i]->coeff.real(), sorted[i]->coeff.imag(),
+                      sorted[i]->string.str().c_str());
+        out += buf;
+    }
+    if (shown < sorted.size()) {
+        std::snprintf(buf, sizeof(buf), "... (%zu more terms)\n",
+                      sorted.size() - shown);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace qcc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Weighted sums of Pauli strings. A molecular Hamiltonian after the
+ * Jordan-Wigner transform is exactly such a sum (Section II-B); sums
+ * also appear as intermediate values when multiplying fermionic
+ * operators through the transform.
+ */
+
+#ifndef QCC_PAULI_PAULI_SUM_HH
+#define QCC_PAULI_PAULI_SUM_HH
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "pauli/pauli.hh"
+
+namespace qcc {
+
+/** One weighted term w * P. */
+struct PauliTerm
+{
+    std::complex<double> coeff;
+    PauliString string;
+};
+
+/**
+ * A sum of weighted Pauli strings, sum_j w_j P_j. Hamiltonians keep
+ * real w_j; complex coefficients appear transiently inside operator
+ * algebra. Terms are kept in insertion order until simplify() merges
+ * duplicates.
+ */
+class PauliSum
+{
+  public:
+    PauliSum() : nQubits(0) {}
+    explicit PauliSum(unsigned n) : nQubits(n) {}
+
+    unsigned numQubits() const { return nQubits; }
+    size_t numTerms() const { return termList.size(); }
+    const std::vector<PauliTerm> &terms() const { return termList; }
+
+    /** Append w * P (no merging until simplify()). */
+    void add(std::complex<double> w, const PauliString &p);
+
+    /** Append every term of another sum. */
+    void add(const PauliSum &other);
+
+    /** Merge duplicate strings and drop |w| <= eps terms. */
+    void simplify(double eps = 1e-12);
+
+    /** this * other with full phase tracking (term-by-term products). */
+    PauliSum product(const PauliSum &other) const;
+
+    /** Multiply every coefficient by s. */
+    void scale(std::complex<double> s);
+
+    /** Largest |imag(w)| over all terms (Hermiticity check). */
+    double maxImagCoeff() const;
+
+    /** Coefficient of the identity string (0 if absent). */
+    std::complex<double> identityCoeff() const;
+
+    /** Sum of |w| over all terms. */
+    double normL1() const;
+
+    /** Human-readable listing (sorted by |w| descending). */
+    std::string str(size_t max_terms = 20) const;
+
+  private:
+    unsigned nQubits;
+    std::vector<PauliTerm> termList;
+};
+
+} // namespace qcc
+
+#endif // QCC_PAULI_PAULI_SUM_HH

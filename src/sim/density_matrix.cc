@@ -1,0 +1,234 @@
+#include "sim/density_matrix.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/statevector.hh"
+
+namespace qcc {
+
+using std::complex;
+
+DensityMatrix::DensityMatrix(unsigned n, uint64_t basis)
+    : nQubits(n), vec(size_t{1} << (2 * n), complex<double>(0, 0))
+{
+    if (n > 13)
+        fatal("DensityMatrix: state too large");
+    if (basis >= (uint64_t{1} << n))
+        panic("DensityMatrix: basis state out of range");
+    vec[basis | (basis << n)] = 1.0;
+}
+
+complex<double>
+DensityMatrix::element(uint64_t r, uint64_t c) const
+{
+    return vec[r | (c << nQubits)];
+}
+
+void
+DensityMatrix::applyRaw1q(unsigned bit_index, const complex<double> u[4])
+{
+    const uint64_t bit = 1ull << bit_index;
+    const size_t n = vec.size();
+    for (size_t b = 0; b < n; ++b) {
+        if (b & bit)
+            continue;
+        complex<double> a0 = vec[b];
+        complex<double> a1 = vec[b | bit];
+        vec[b] = u[0] * a0 + u[1] * a1;
+        vec[b | bit] = u[2] * a0 + u[3] * a1;
+    }
+}
+
+void
+DensityMatrix::applyRawCnot(unsigned control_bit, unsigned target_bit)
+{
+    const uint64_t cb = 1ull << control_bit, tb = 1ull << target_bit;
+    const size_t n = vec.size();
+    for (size_t b = 0; b < n; ++b)
+        if ((b & cb) && !(b & tb))
+            std::swap(vec[b], vec[b | tb]);
+}
+
+void
+DensityMatrix::applyGate(const Gate &g)
+{
+    switch (g.kind) {
+      case GateKind::CNOT:
+        applyRawCnot(g.q0, g.q1);
+        applyRawCnot(g.q0 + nQubits, g.q1 + nQubits);
+        return;
+      case GateKind::SWAP: {
+          // SWAP = three alternating CNOTs on both ket and bra sides.
+          applyRawCnot(g.q0, g.q1);
+          applyRawCnot(g.q1, g.q0);
+          applyRawCnot(g.q0, g.q1);
+          applyRawCnot(g.q0 + nQubits, g.q1 + nQubits);
+          applyRawCnot(g.q1 + nQubits, g.q0 + nQubits);
+          applyRawCnot(g.q0 + nQubits, g.q1 + nQubits);
+          return;
+      }
+      default: {
+          complex<double> u[4], uc[4];
+          gateMatrix(g.kind, g.angle, u);
+          for (int i = 0; i < 4; ++i)
+              uc[i] = std::conj(u[i]);
+          applyRaw1q(g.q0, u);
+          applyRaw1q(g.q0 + nQubits, uc);
+          return;
+      }
+    }
+}
+
+void
+DensityMatrix::applyCircuit(const Circuit &c, const NoiseModel &noise)
+{
+    if (c.numQubits() != nQubits)
+        panic("DensityMatrix::applyCircuit: width mismatch");
+    for (const auto &g : c.gates()) {
+        applyGate(g);
+        if (noise.isNoiseless())
+            continue;
+        if (g.kind == GateKind::CNOT) {
+            depolarize2(g.q0, g.q1, noise.cnotDepolarizing);
+        } else if (g.kind == GateKind::SWAP) {
+            // A routed SWAP is three CNOTs on hardware: apply the
+            // two-qubit channel three times.
+            for (int i = 0; i < 3; ++i)
+                depolarize2(g.q0, g.q1, noise.cnotDepolarizing);
+        } else if (noise.singleQubitDepolarizing > 0.0) {
+            depolarize1(g.q0, noise.singleQubitDepolarizing);
+        }
+    }
+}
+
+void
+DensityMatrix::depolarize2(unsigned a, unsigned b, double p)
+{
+    if (p <= 0.0)
+        return;
+    // Uniform two-qubit depolarizing channel:
+    //   D(rho) = (1-p) rho + p/15 sum_{(P,Q) != II} (P@Q) rho (P@Q)
+    //          = (1 - 16p/15) rho + (16p/15) (I4/4 @ Tr_ab rho).
+    const double keep = 1.0 - 16.0 * p / 15.0;
+    const double mix = (16.0 * p / 15.0) / 4.0;
+
+    const uint64_t ka = 1ull << a, kb = 1ull << b;
+    const uint64_t ba = ka << nQubits, bb = kb << nQubits;
+    const uint64_t sub[4] = {0, ka, kb, ka | kb};
+    const size_t n = vec.size();
+    const uint64_t pairMask = ka | kb | ba | bb;
+
+    for (size_t base = 0; base < n; ++base) {
+        if (base & pairMask)
+            continue;
+        // Partial trace over qubits (a, b) for this (rest-ket,
+        // rest-bra) block.
+        complex<double> tr = 0.0;
+        for (int s = 0; s < 4; ++s)
+            tr += vec[base | sub[s] | (sub[s] << nQubits)];
+
+        for (int s1 = 0; s1 < 4; ++s1) {
+            for (int s2 = 0; s2 < 4; ++s2) {
+                const size_t idx =
+                    base | sub[s1] | (sub[s2] << nQubits);
+                vec[idx] *= keep;
+                if (s1 == s2)
+                    vec[idx] += mix * tr;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::depolarize1(unsigned q, double p)
+{
+    if (p <= 0.0)
+        return;
+    // D(rho) = (1 - 4p/3) rho + (4p/3)(I/2 @ Tr_q rho).
+    const double keep = 1.0 - 4.0 * p / 3.0;
+    const double mix = (4.0 * p / 3.0) / 2.0;
+
+    const uint64_t kq = 1ull << q;
+    const uint64_t bq = kq << nQubits;
+    const size_t n = vec.size();
+
+    for (size_t base = 0; base < n; ++base) {
+        if (base & (kq | bq))
+            continue;
+        complex<double> tr = vec[base] + vec[base | kq | bq];
+        vec[base] = keep * vec[base] + mix * tr;
+        vec[base | kq | bq] = keep * vec[base | kq | bq] + mix * tr;
+        vec[base | kq] *= keep;
+        vec[base | bq] *= keep;
+    }
+}
+
+void
+DensityMatrix::conjugatePauli1(unsigned q, PauliOp op)
+{
+    complex<double> u[4], uc[4];
+    GateKind k = op == PauliOp::X   ? GateKind::X
+                 : op == PauliOp::Y ? GateKind::Y
+                                    : GateKind::Z;
+    gateMatrix(k, 0.0, u);
+    for (int i = 0; i < 4; ++i)
+        uc[i] = std::conj(u[i]);
+    applyRaw1q(q, u);
+    applyRaw1q(q + nQubits, uc);
+}
+
+double
+DensityMatrix::expectation(const PauliString &p) const
+{
+    if (p.numQubits() != nQubits)
+        panic("DensityMatrix::expectation: width mismatch");
+    const uint64_t x = p.xMask(), z = p.zMask();
+    const uint64_t dim = uint64_t{1} << nQubits;
+
+    // Tr(P rho) = sum_b <b|P rho|b> = sum_b phase(b^x) rho[b^x, b]
+    // with P|c> = i^{|x&z|} (-1)^{|z&c|} |c^x>.
+    static const complex<double> table[4] = {
+        {1, 0}, {0, 1}, {-1, 0}, {0, -1}
+    };
+    complex<double> s = 0.0;
+    const int yPhase = std::popcount(x & z);
+    for (uint64_t b = 0; b < dim; ++b) {
+        const uint64_t bx = b ^ x;
+        const int e = (yPhase + 2 * std::popcount(z & bx)) & 3;
+        s += table[e] * vec[bx | (b << nQubits)];
+    }
+    return s.real();
+}
+
+double
+DensityMatrix::expectation(const PauliSum &h) const
+{
+    double e = 0.0;
+    for (const auto &t : h.terms())
+        e += t.coeff.real() * expectation(t.string);
+    return e;
+}
+
+double
+DensityMatrix::trace() const
+{
+    const uint64_t dim = uint64_t{1} << nQubits;
+    complex<double> s = 0.0;
+    for (uint64_t b = 0; b < dim; ++b)
+        s += vec[b | (b << nQubits)];
+    return s.real();
+}
+
+double
+DensityMatrix::purity() const
+{
+    // Tr(rho^2) = sum_{r,c} |rho[r,c]|^2 for Hermitian rho.
+    double s = 0.0;
+    for (const auto &v : vec)
+        s += std::norm(v);
+    return s;
+}
+
+} // namespace qcc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Density-matrix simulator with depolarizing noise channels, used for
+ * the paper's noisy VQE case studies on LiH and NaH (Section VI-D).
+ * The density matrix is stored in vectorized form: a 2^(2n) vector
+ * whose low n index bits are the ket and high n bits the bra, so gates
+ * act as U on the ket qubits and conj(U) on the bra qubits.
+ */
+
+#ifndef QCC_SIM_DENSITY_MATRIX_HH
+#define QCC_SIM_DENSITY_MATRIX_HH
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "pauli/pauli_sum.hh"
+#include "sim/noise_model.hh"
+
+namespace qcc {
+
+/** Mixed-state simulator for up to ~10 qubits. */
+class DensityMatrix
+{
+  public:
+    /** |basis><basis| on n qubits. */
+    explicit DensityMatrix(unsigned n, uint64_t basis = 0);
+
+    unsigned numQubits() const { return nQubits; }
+
+    /** Matrix element <r| rho |c>. */
+    std::complex<double> element(uint64_t r, uint64_t c) const;
+
+    /** Apply a unitary gate (rho -> U rho U+). */
+    void applyGate(const Gate &g);
+
+    /** Apply a circuit, inserting noise channels per the model. */
+    void applyCircuit(const Circuit &c, const NoiseModel &noise = {});
+
+    /** Two-qubit depolarizing channel with probability p on (a, b). */
+    void depolarize2(unsigned a, unsigned b, double p);
+
+    /** Single-qubit depolarizing channel with probability p on q. */
+    void depolarize1(unsigned q, double p);
+
+    /** Tr(P rho). */
+    double expectation(const PauliString &p) const;
+
+    /** Tr(H rho) for a Pauli sum. */
+    double expectation(const PauliSum &h) const;
+
+    /** Tr(rho); should stay 1 up to roundoff. */
+    double trace() const;
+
+    /** Tr(rho^2), purity diagnostic. */
+    double purity() const;
+
+  private:
+    /** Apply a 1q unitary on a raw index bit of the vectorized rho. */
+    void applyRaw1q(unsigned bit_index, const std::complex<double> u[4]);
+
+    /** Apply CNOT on raw (control, target) index bits. */
+    void applyRawCnot(unsigned control_bit, unsigned target_bit);
+
+    /** rho -> P rho P for a Pauli on qubit q (helper for channels). */
+    void conjugatePauli1(unsigned q, PauliOp op);
+
+    unsigned nQubits;
+    std::vector<std::complex<double>> vec;
+};
+
+} // namespace qcc
+
+#endif // QCC_SIM_DENSITY_MATRIX_HH

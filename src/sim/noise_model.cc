@@ -1,0 +1,4 @@
+#include "sim/noise_model.hh"
+
+// NoiseModel is a plain parameter struct; implementation lives in the
+// density-matrix simulator. This translation unit anchors the header.

@@ -1,0 +1,270 @@
+#include "sim/statevector.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+namespace {
+
+/**
+ * Phase picked up when the canonical Pauli (x, z) maps |b> to |b ^ x>:
+ * P|b> = i^{|x&z|} (-1)^{|z & b|} |b ^ x>.
+ */
+inline cplx
+pauliPhase(uint64_t x, uint64_t z, uint64_t b)
+{
+    int e = std::popcount(x & z) + 2 * std::popcount(z & b);
+    static const cplx table[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    return table[e & 3];
+}
+
+} // namespace
+
+Statevector::Statevector(unsigned n) : Statevector(n, 0)
+{
+}
+
+Statevector::Statevector(unsigned n, uint64_t basis)
+    : nQubits(n), amp(size_t{1} << n, cplx(0, 0))
+{
+    if (n > 28)
+        fatal("Statevector: state too large");
+    if (basis >= amp.size())
+        panic("Statevector: basis state out of range");
+    amp[basis] = 1.0;
+}
+
+void
+Statevector::apply1q(unsigned q, const cplx u[4])
+{
+    const uint64_t bit = 1ull << q;
+    const size_t n = amp.size();
+    for (size_t b = 0; b < n; ++b) {
+        if (b & bit)
+            continue;
+        cplx a0 = amp[b];
+        cplx a1 = amp[b | bit];
+        amp[b] = u[0] * a0 + u[1] * a1;
+        amp[b | bit] = u[2] * a0 + u[3] * a1;
+    }
+}
+
+void
+Statevector::applyGate(const Gate &g)
+{
+    switch (g.kind) {
+      case GateKind::CNOT: {
+          const uint64_t cb = 1ull << g.q0, tb = 1ull << g.q1;
+          const size_t n = amp.size();
+          for (size_t b = 0; b < n; ++b)
+              if ((b & cb) && !(b & tb))
+                  std::swap(amp[b], amp[b | tb]);
+          return;
+      }
+      case GateKind::SWAP: {
+          const uint64_t ab = 1ull << g.q0, bb = 1ull << g.q1;
+          const size_t n = amp.size();
+          for (size_t b = 0; b < n; ++b)
+              if ((b & ab) && !(b & bb))
+                  std::swap(amp[b ^ ab ^ bb], amp[b]);
+          return;
+      }
+      default: {
+          cplx u[4];
+          gateMatrix(g.kind, g.angle, u);
+          apply1q(g.q0, u);
+          return;
+      }
+    }
+}
+
+void
+Statevector::applyCircuit(const Circuit &c)
+{
+    if (c.numQubits() != nQubits)
+        panic("Statevector::applyCircuit: width mismatch");
+    for (const auto &g : c.gates())
+        applyGate(g);
+}
+
+void
+Statevector::applyPauliRotation(double theta, const PauliString &p)
+{
+    if (p.numQubits() != nQubits)
+        panic("applyPauliRotation: width mismatch");
+    const uint64_t x = p.xMask(), z = p.zMask();
+    const cplx c = std::cos(theta);
+    const cplx is = cplx(0, std::sin(theta));
+    const size_t n = amp.size();
+
+    if (x == 0) {
+        // Diagonal string: pure per-amplitude phase.
+        for (size_t b = 0; b < n; ++b)
+            amp[b] *= c + is * pauliPhase(x, z, b);
+        return;
+    }
+    for (size_t b = 0; b < n; ++b) {
+        const size_t b2 = b ^ x;
+        if (b2 < b)
+            continue;
+        cplx a = amp[b], a2 = amp[b2];
+        // exp(i t P)|psi>[b] = cos(t) psi[b] + i sin(t) (P psi)[b]
+        // and (P psi)[b] = phase(b2) psi[b2] because P|b2> lands on b.
+        amp[b] = c * a + is * pauliPhase(x, z, b2) * a2;
+        amp[b2] = c * a2 + is * pauliPhase(x, z, b) * a;
+    }
+}
+
+void
+Statevector::applyPauli(const PauliString &p)
+{
+    if (p.numQubits() != nQubits)
+        panic("applyPauli: width mismatch");
+    const uint64_t x = p.xMask(), z = p.zMask();
+    const size_t n = amp.size();
+    if (x == 0) {
+        for (size_t b = 0; b < n; ++b)
+            amp[b] *= pauliPhase(x, z, b);
+        return;
+    }
+    for (size_t b = 0; b < n; ++b) {
+        const size_t b2 = b ^ x;
+        if (b2 < b)
+            continue;
+        cplx a = amp[b], a2 = amp[b2];
+        amp[b] = pauliPhase(x, z, b2) * a2;
+        amp[b2] = pauliPhase(x, z, b) * a;
+    }
+}
+
+void
+Statevector::accumulatePauli(cplx w, const PauliString &p,
+                             std::vector<cplx> &out) const
+{
+    if (out.size() != amp.size())
+        panic("accumulatePauli: dimension mismatch");
+    const uint64_t x = p.xMask(), z = p.zMask();
+    const size_t n = amp.size();
+    for (size_t b = 0; b < n; ++b)
+        out[b] += w * pauliPhase(x, z, b ^ x) * amp[b ^ x];
+}
+
+double
+Statevector::expectation(const PauliString &p) const
+{
+    const uint64_t x = p.xMask(), z = p.zMask();
+    const size_t n = amp.size();
+    cplx s = 0.0;
+    for (size_t b = 0; b < n; ++b)
+        s += std::conj(amp[b]) * pauliPhase(x, z, b ^ x) * amp[b ^ x];
+    return s.real();
+}
+
+double
+Statevector::expectation(const PauliSum &h) const
+{
+    if (h.numQubits() != nQubits)
+        panic("expectation: width mismatch");
+    std::vector<cplx> hpsi(amp.size(), cplx(0, 0));
+    for (const auto &t : h.terms())
+        accumulatePauli(t.coeff, t.string, hpsi);
+    cplx s = 0.0;
+    for (size_t b = 0; b < amp.size(); ++b)
+        s += std::conj(amp[b]) * hpsi[b];
+    return s.real();
+}
+
+cplx
+Statevector::inner(const Statevector &other) const
+{
+    if (other.amp.size() != amp.size())
+        panic("inner: dimension mismatch");
+    cplx s = 0.0;
+    for (size_t b = 0; b < amp.size(); ++b)
+        s += std::conj(amp[b]) * other.amp[b];
+    return s;
+}
+
+double
+Statevector::norm() const
+{
+    double s = 0.0;
+    for (const auto &a : amp)
+        s += std::norm(a);
+    return std::sqrt(s);
+}
+
+void
+Statevector::normalize()
+{
+    double n = norm();
+    if (n < 1e-300)
+        panic("normalize: zero state");
+    for (auto &a : amp)
+        a /= n;
+}
+
+void
+gateMatrix(GateKind k, double angle, cplx out[4])
+{
+    const cplx i(0, 1);
+    const double c = std::cos(angle / 2), s = std::sin(angle / 2);
+    switch (k) {
+      case GateKind::X:
+        out[0] = 0; out[1] = 1; out[2] = 1; out[3] = 0;
+        return;
+      case GateKind::Y:
+        out[0] = 0; out[1] = -i; out[2] = i; out[3] = 0;
+        return;
+      case GateKind::Z:
+        out[0] = 1; out[1] = 0; out[2] = 0; out[3] = -1;
+        return;
+      case GateKind::H: {
+          const double r = 1.0 / std::sqrt(2.0);
+          out[0] = r; out[1] = r; out[2] = r; out[3] = -r;
+          return;
+      }
+      case GateKind::S:
+        out[0] = 1; out[1] = 0; out[2] = 0; out[3] = i;
+        return;
+      case GateKind::Sdg:
+        out[0] = 1; out[1] = 0; out[2] = 0; out[3] = -i;
+        return;
+      case GateKind::RX:
+        out[0] = c; out[1] = -i * s; out[2] = -i * s; out[3] = c;
+        return;
+      case GateKind::RY:
+        out[0] = c; out[1] = -s; out[2] = s; out[3] = c;
+        return;
+      case GateKind::RZ:
+        out[0] = std::exp(-i * (angle / 2));
+        out[1] = 0;
+        out[2] = 0;
+        out[3] = std::exp(i * (angle / 2));
+        return;
+      default:
+        panic("gateMatrix: not a single-qubit kind");
+    }
+}
+
+std::vector<std::vector<cplx>>
+circuitUnitary(const Circuit &c)
+{
+    const unsigned n = c.numQubits();
+    if (n > 12)
+        fatal("circuitUnitary: too many qubits for dense unitary");
+    const size_t dim = size_t{1} << n;
+    std::vector<std::vector<cplx>> u(dim, std::vector<cplx>(dim));
+    for (size_t col = 0; col < dim; ++col) {
+        Statevector sv(n, col);
+        sv.applyCircuit(c);
+        for (size_t row = 0; row < dim; ++row)
+            u[row][col] = sv.amplitudes()[row];
+    }
+    return u;
+}
+
+} // namespace qcc

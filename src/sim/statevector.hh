@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Statevector simulator. Provides gate-by-gate execution of compiled
+ * circuits (used to verify the compiler) and direct O(2^n) kernels for
+ * Pauli-string rotations exp(i theta P) and Pauli expectation values
+ * (used by the VQE driver, mirroring the paper's use of the Aer
+ * statevector simulator).
+ */
+
+#ifndef QCC_SIM_STATEVECTOR_HH
+#define QCC_SIM_STATEVECTOR_HH
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "pauli/pauli_sum.hh"
+
+namespace qcc {
+
+using cplx = std::complex<double>;
+
+/**
+ * Dense 2^n-amplitude quantum state. Basis index bit q corresponds to
+ * qubit q (qubit 0 is the least-significant bit).
+ */
+class Statevector
+{
+  public:
+    /** |0...0> on n qubits. */
+    explicit Statevector(unsigned n);
+
+    /** Computational basis state |basis>. */
+    Statevector(unsigned n, uint64_t basis);
+
+    unsigned numQubits() const { return nQubits; }
+    size_t dim() const { return amp.size(); }
+    const std::vector<cplx> &amplitudes() const { return amp; }
+    std::vector<cplx> &amplitudes() { return amp; }
+
+    /** Apply an arbitrary single-qubit unitary (row-major 2x2). */
+    void apply1q(unsigned q, const cplx u[4]);
+
+    /** Apply one gate of the circuit IR. */
+    void applyGate(const Gate &g);
+
+    /** Apply every gate of a circuit. */
+    void applyCircuit(const Circuit &c);
+
+    /**
+     * Apply exp(i theta P) directly (one pass over the state). This is
+     * the mathematical definition of the Pauli-string simulation
+     * circuit of Section II-A, bypassing synthesis.
+     */
+    void applyPauliRotation(double theta, const PauliString &p);
+
+    /** Apply the (non-unitary unless |w|=1) operator P in place. */
+    void applyPauli(const PauliString &p);
+
+    /** out += w * (P applied to this state); out must match dims. */
+    void accumulatePauli(cplx w, const PauliString &p,
+                         std::vector<cplx> &out) const;
+
+    /** <psi| P |psi> (real part; P is Hermitian). */
+    double expectation(const PauliString &p) const;
+
+    /**
+     * <psi| H |psi> for a Pauli sum. Computed as one accumulation of
+     * H|psi> followed by an inner product, so the cost is one state
+     * pass per term.
+     */
+    double expectation(const PauliSum &h) const;
+
+    /** <this|other>. */
+    cplx inner(const Statevector &other) const;
+
+    /** L2 norm. */
+    double norm() const;
+
+    /** Scale so the norm is one. */
+    void normalize();
+
+  private:
+    unsigned nQubits;
+    std::vector<cplx> amp;
+};
+
+/** 2x2 matrix for a single-qubit gate kind (angle for RX/RY/RZ). */
+void gateMatrix(GateKind k, double angle, cplx out[4]);
+
+/**
+ * Full 2^n x 2^n unitary of a circuit, built by applying the circuit
+ * to every basis state. Column-major in the returned row-major matrix:
+ * result[r][c] = <r|U|c>. Only sensible for small n (verification).
+ */
+std::vector<std::vector<cplx>> circuitUnitary(const Circuit &c);
+
+} // namespace qcc
+
+#endif // QCC_SIM_STATEVECTOR_HH

@@ -1,0 +1,110 @@
+#include "vqe/vqe.hh"
+
+#include "common/logging.hh"
+#include "compiler/chain_synthesis.hh"
+#include "sim/density_matrix.hh"
+
+namespace qcc {
+
+Statevector
+prepareAnsatzState(const Ansatz &ansatz,
+                   const std::vector<double> &params)
+{
+    if (params.size() != ansatz.nParams)
+        fatal("prepareAnsatzState: parameter count mismatch");
+    Statevector sv(ansatz.nQubits, ansatz.hfMask);
+    for (const auto &r : ansatz.rotations)
+        sv.applyPauliRotation(params[r.param] * r.coeff, r.string);
+    return sv;
+}
+
+double
+ansatzEnergy(const PauliSum &h, const Ansatz &ansatz,
+             const std::vector<double> &params)
+{
+    return prepareAnsatzState(ansatz, params).expectation(h);
+}
+
+double
+ansatzEnergyNoisy(const PauliSum &h, const Ansatz &ansatz,
+                  const std::vector<double> &params,
+                  const NoiseModel &noise)
+{
+    Circuit c = synthesizeChainCircuit(ansatz, params, true);
+    DensityMatrix rho(ansatz.nQubits);
+    rho.applyCircuit(c, noise);
+    return rho.expectation(h);
+}
+
+namespace {
+
+VqeResult
+minimize(const ObjectiveFn &energy, unsigned n_params,
+         const VqeOptions &opts)
+{
+    std::vector<double> x0(n_params, 0.0);
+    OptimizeResult opt;
+
+    switch (opts.optimizer) {
+      case VqeOptions::Optimizer::Lbfgs: {
+          LbfgsOptions lo;
+          lo.maxIter = opts.maxIter;
+          lo.fdStep = opts.fdStep;
+          lo.gtol = opts.gtol;
+          lo.ftol = opts.ftol;
+          opt = lbfgsMinimize(energy, x0, lo);
+          break;
+      }
+      case VqeOptions::Optimizer::NelderMead: {
+          NelderMeadOptions no;
+          no.maxIter = opts.maxIter * std::max(1u, n_params);
+          opt = nelderMead(energy, x0, no);
+          break;
+      }
+      case VqeOptions::Optimizer::Spsa: {
+          SpsaOptions so;
+          so.maxIter = opts.spsaIter;
+          so.seed = opts.seed;
+          opt = spsa(energy, x0, so);
+          break;
+      }
+    }
+
+    VqeResult res;
+    res.energy = opt.fun;
+    res.params = opt.x;
+    res.iterations = opt.iterations;
+    res.evals = opt.funEvals;
+    res.converged = opt.converged;
+    return res;
+}
+
+} // namespace
+
+VqeResult
+runVqe(const PauliSum &h, const Ansatz &ansatz, const VqeOptions &opts)
+{
+    if (h.numQubits() != ansatz.nQubits)
+        fatal("runVqe: Hamiltonian/ansatz width mismatch");
+    auto energy = [&](const std::vector<double> &x) {
+        return ansatzEnergy(h, ansatz, x);
+    };
+    return minimize(energy, ansatz.nParams, opts);
+}
+
+VqeResult
+runVqeNoisy(const PauliSum &h, const Ansatz &ansatz,
+            const NoiseModel &noise, const VqeOptions &opts)
+{
+    if (h.numQubits() != ansatz.nQubits)
+        fatal("runVqeNoisy: Hamiltonian/ansatz width mismatch");
+    auto energy = [&](const std::vector<double> &x) {
+        return ansatzEnergyNoisy(h, ansatz, x, noise);
+    };
+    VqeOptions o = opts;
+    if (o.optimizer == VqeOptions::Optimizer::Lbfgs)
+        o.optimizer = VqeOptions::Optimizer::Spsa;
+    return minimize(energy, ansatz.nParams, o);
+}
+
+} // namespace qcc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * VQE driver (Section II-B). The inner loop evaluates
+ * E(theta) = sum_i w_i <psi(theta)| P_i |psi(theta)> with the
+ * statevector simulator's direct Pauli-rotation kernels; the outer
+ * loop minimizes E with a classical optimizer, and its iteration
+ * count is the paper's convergence-speed metric. A density-matrix
+ * path reproduces the noisy case studies of Section VI-D.
+ */
+
+#ifndef QCC_VQE_VQE_HH
+#define QCC_VQE_VQE_HH
+
+#include <vector>
+
+#include "ansatz/uccsd.hh"
+#include "common/optimize.hh"
+#include "pauli/pauli_sum.hh"
+#include "sim/noise_model.hh"
+#include "sim/statevector.hh"
+
+namespace qcc {
+
+/** Optimizer selection and run limits. */
+struct VqeOptions
+{
+    enum class Optimizer { Lbfgs, NelderMead, Spsa };
+    Optimizer optimizer = Optimizer::Lbfgs;
+    int maxIter = 200;
+    double fdStep = 1e-5;     ///< finite-difference gradient step
+    double gtol = 1e-5;       ///< L-BFGS gradient tolerance
+    double ftol = 1e-9;       ///< relative energy-change tolerance
+    int spsaIter = 250;       ///< SPSA iteration budget
+    uint64_t seed = 2021;
+};
+
+/** VQE outcome. */
+struct VqeResult
+{
+    double energy = 0.0;
+    std::vector<double> params;
+    int iterations = 0;  ///< outer-loop iterations (paper metric)
+    int evals = 0;       ///< energy evaluations
+    bool converged = false;
+};
+
+/** |psi(theta)>: HF state plus the ansatz rotation sequence. */
+Statevector prepareAnsatzState(const Ansatz &ansatz,
+                               const std::vector<double> &params);
+
+/** Noise-free energy of the ansatz state. */
+double ansatzEnergy(const PauliSum &h, const Ansatz &ansatz,
+                    const std::vector<double> &params);
+
+/**
+ * Noisy energy: the ansatz is chain-synthesized to a gate circuit and
+ * executed on the density-matrix simulator with depolarizing noise
+ * after every CNOT.
+ */
+double ansatzEnergyNoisy(const PauliSum &h, const Ansatz &ansatz,
+                         const std::vector<double> &params,
+                         const NoiseModel &noise);
+
+/** Minimize the noise-free VQE energy from a zero start. */
+VqeResult runVqe(const PauliSum &h, const Ansatz &ansatz,
+                 const VqeOptions &opts = {});
+
+/** Minimize the noisy VQE energy (SPSA by default). */
+VqeResult runVqeNoisy(const PauliSum &h, const Ansatz &ansatz,
+                      const NoiseModel &noise,
+                      const VqeOptions &opts = {});
+
+} // namespace qcc
+
+#endif // QCC_VQE_VQE_HH

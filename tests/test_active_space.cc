@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the frozen-core / active-space reduction, including
+ * the per-molecule settings that reproduce Table I's qubit counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chem/hartree_fock.hh"
+#include "chem/molecules.hh"
+#include "ferm/active_space.hh"
+#include "ferm/hamiltonian.hh"
+#include "sim/statevector.hh"
+
+using namespace qcc;
+
+TEST(ActiveSpace, NoFreezeIsIdentity)
+{
+    const auto &entry = benchmarkMolecule("H2");
+    Molecule mol = entry.build(0.74);
+    BasisSet basis = BasisSet::stoNg(mol);
+    IntegralTables ints = computeIntegrals(basis, mol);
+    ScfResult scf = runRhf(ints, mol);
+    MoIntegrals mo =
+        transformToMo(ints, scf.coeffs, mol.nuclearRepulsion());
+
+    ActiveSpaceResult as = applyActiveSpace(
+        mo, scf.orbitalEnergies, mol.nElectrons(), 0, -1);
+    EXPECT_EQ(as.active.nOrb, mo.nOrb);
+    EXPECT_EQ(as.nActiveElectrons, 2u);
+    EXPECT_TRUE(as.frozenMos.empty());
+    EXPECT_NEAR(as.active.coreEnergy, mo.coreEnergy, 1e-12);
+    EXPECT_NEAR((as.active.h - mo.h).maxAbs(), 0.0, 1e-12);
+}
+
+TEST(ActiveSpace, FrozenCoreEnergyConsistent)
+{
+    // Freezing orbitals must keep <HF|H|HF> equal to the RHF energy
+    // (the frozen part moves into the core constant).
+    const auto &entry = benchmarkMolecule("BeH2");
+    MolecularProblem prob =
+        buildMolecularProblem(entry, entry.equilibriumBond);
+    EXPECT_EQ(prob.activeSpace.frozenMos.size(), 1u);
+
+    Statevector hf(prob.nQubits,
+                   hartreeFockMask(prob.nSpatial, prob.nElectrons));
+    EXPECT_NEAR(hf.expectation(prob.hamiltonian),
+                prob.hartreeFockEnergy, 1e-6);
+}
+
+TEST(ActiveSpace, TableIQubitCounts)
+{
+    // The headline structural check: every benchmark molecule
+    // reduces to exactly the paper's qubit count.
+    for (const auto &entry : benchmarkMolecules()) {
+        MolecularProblem prob =
+            buildMolecularProblem(entry, entry.equilibriumBond);
+        EXPECT_EQ(prob.nQubits, entry.expectQubits) << entry.name;
+    }
+}
+
+TEST(ActiveSpace, LiHRemovesDegeneratePiPair)
+{
+    const auto &entry = benchmarkMolecule("LiH");
+    MolecularProblem prob = buildMolecularProblem(entry, 1.6);
+    ASSERT_EQ(prob.activeSpace.removedMos.size(), 2u);
+    // The removed orbitals form a degenerate pair (the Li 2p pi).
+    Molecule mol = entry.build(1.6);
+    BasisSet basis = BasisSet::stoNg(mol);
+    IntegralTables ints = computeIntegrals(basis, mol);
+    ScfResult scf = runRhf(ints, mol);
+    double e0 = scf.orbitalEnergies[prob.activeSpace.removedMos[0]];
+    double e1 = scf.orbitalEnergies[prob.activeSpace.removedMos[1]];
+    EXPECT_NEAR(e0, e1, 1e-6);
+}
+
+TEST(ActiveSpace, NaHKeepsFourSpatials)
+{
+    const auto &entry = benchmarkMolecule("NaH");
+    MolecularProblem prob = buildMolecularProblem(entry, 1.9);
+    EXPECT_EQ(prob.nSpatial, 4u);
+    EXPECT_EQ(prob.nElectrons, 2u);
+    EXPECT_EQ(prob.activeSpace.frozenMos.size(), 5u);
+}
+
+TEST(ActiveSpace, ElectronsMatchTableI)
+{
+    struct Case
+    {
+        const char *name;
+        unsigned electrons;
+    };
+    for (const auto &c : std::vector<Case>{{"H2", 2},
+                                           {"LiH", 2},
+                                           {"NaH", 2},
+                                           {"HF", 8},
+                                           {"BeH2", 4},
+                                           {"H2O", 8},
+                                           {"BH3", 6},
+                                           {"NH3", 8},
+                                           {"CH4", 8}}) {
+        const auto &entry = benchmarkMolecule(c.name);
+        MolecularProblem prob =
+            buildMolecularProblem(entry, entry.equilibriumBond);
+        EXPECT_EQ(prob.nElectrons, c.electrons) << c.name;
+    }
+}

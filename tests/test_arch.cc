@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the architecture module: X-Tree construction
+ * invariants for the paper's Figure 6 sizes, Grid17Q counts, and
+ * coupling-graph utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/grid.hh"
+#include "arch/xtree.hh"
+
+using namespace qcc;
+
+class XTreeSizes : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(XTreeSizes, TreeInvariants)
+{
+    const unsigned n = GetParam();
+    XTree t = makeXTree(n);
+    EXPECT_EQ(t.graph.numQubits(), n);
+    // A tree has exactly N-1 edges (the paper's minimal-coupler
+    // argument) and is connected.
+    EXPECT_EQ(t.graph.numEdges(), size_t(n) - 1);
+    EXPECT_TRUE(t.graph.isConnected());
+    // Degree cap: 4 everywhere.
+    EXPECT_LE(t.graph.maxDegree(), 4u);
+    // Parent/level consistency.
+    EXPECT_EQ(t.parent[t.root], -1);
+    for (unsigned q = 0; q < n; ++q) {
+        if (int(q) == int(t.root))
+            continue;
+        ASSERT_GE(t.parent[q], 0);
+        EXPECT_EQ(t.level[q], t.level[unsigned(t.parent[q])] + 1);
+        EXPECT_TRUE(t.graph.hasEdge(q, unsigned(t.parent[q])));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure6, XTreeSizes,
+                         ::testing::Values(5u, 8u, 17u, 26u));
+
+TEST(XTree, XTree5QIsRootPlusFour)
+{
+    XTree t = makeXTree(5);
+    EXPECT_EQ(t.children[0].size(), 4u);
+    for (unsigned q = 1; q < 5; ++q)
+        EXPECT_EQ(t.level[q], 1u);
+}
+
+TEST(XTree, XTree17QLevels)
+{
+    // Figure 6: root at level 0, 4 qubits at level 1, 12 at level 2.
+    XTree t = makeXTree(17);
+    unsigned counts[3] = {0, 0, 0};
+    for (unsigned q = 0; q < 17; ++q)
+        ++counts[t.level[q]];
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 4u);
+    EXPECT_EQ(counts[2], 12u);
+    EXPECT_EQ(t.maxLevel(), 2u);
+    EXPECT_EQ(t.graph.numEdges(), 16u); // paper: 16 connections
+}
+
+TEST(XTree, DegreeParametersRespected)
+{
+    XTree t = makeXTree(10, 2, 1); // a path-heavy tree
+    EXPECT_EQ(t.children[0].size(), 2u);
+    for (unsigned q = 1; q < 10; ++q)
+        EXPECT_LE(t.children[q].size(), 1u);
+}
+
+TEST(Grid17Q, CountsMatchPaper)
+{
+    CouplingGraph g = makeGrid17Q();
+    EXPECT_EQ(g.numQubits(), 17u);
+    EXPECT_EQ(g.numEdges(), 24u); // paper: 24 connections
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_LE(g.maxDegree(), 4u); // same fabrication cap as X-Tree
+}
+
+TEST(Grid, RectangularGridEdgeCount)
+{
+    CouplingGraph g = makeGrid(3, 4);
+    EXPECT_EQ(g.numQubits(), 12u);
+    // rows*(cols-1) + cols*(rows-1) = 3*3 + 4*2 = 17.
+    EXPECT_EQ(g.numEdges(), 17u);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(CouplingGraph, DistanceMatrixBfs)
+{
+    XTree t = makeXTree(8);
+    auto d = t.graph.distanceMatrix();
+    for (unsigned q = 0; q < 8; ++q)
+        EXPECT_EQ(d[q][q], 0u);
+    // Distance to parent is 1; siblings are 2 apart via the parent.
+    EXPECT_EQ(d[1][0], 1u);
+    EXPECT_EQ(d[1][2], 2u);
+    // Symmetry.
+    for (unsigned a = 0; a < 8; ++a)
+        for (unsigned b = 0; b < 8; ++b)
+            EXPECT_EQ(d[a][b], d[b][a]);
+}
+
+TEST(CouplingGraph, EdgeValidation)
+{
+    CouplingGraph g(3);
+    g.addEdge(0, 1);
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_DEATH(g.addEdge(0, 0), "self loop");
+    EXPECT_DEATH(g.addEdge(0, 1), "duplicate");
+}
+
+TEST(CouplingGraph, TreeVsGridCouplerRatio)
+{
+    // The architectural headline: XTree17Q uses 16 couplers vs 24 on
+    // Grid17Q, a 1.5x reduction driving the yield gap.
+    XTree t = makeXTree(17);
+    CouplingGraph g = makeGrid17Q();
+    EXPECT_EQ(g.numEdges() - t.graph.numEdges(), 8u);
+}

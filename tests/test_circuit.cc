@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the circuit IR: gate accounting conventions (SWAP =
+ * 3 CNOTs), depth, inversion, and the OpenQASM exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hh"
+#include "sim/statevector.hh"
+
+using namespace qcc;
+
+TEST(Circuit, GateCounts)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cnot(0, 1);
+    c.cnot(1, 2);
+    c.swap(0, 2);
+    c.rz(2, 0.5);
+    EXPECT_EQ(c.totalGates(), 5u);
+    EXPECT_EQ(c.cnotCount(true), 5u);  // 2 CNOT + 3 for the SWAP
+    EXPECT_EQ(c.cnotCount(false), 2u);
+    EXPECT_EQ(c.swapCount(), 1u);
+}
+
+TEST(Circuit, DepthAsapSchedule)
+{
+    Circuit c(3);
+    c.h(0);        // depth 1 on q0
+    c.h(1);        // depth 1 on q1 (parallel)
+    c.cnot(0, 1);  // depth 2
+    c.x(2);        // depth 1 on q2
+    c.cnot(1, 2);  // depth 3
+    EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, InverseComposesToIdentity)
+{
+    Circuit c(2);
+    c.h(0);
+    c.s(1);
+    c.rx(0, 0.37);
+    c.cnot(0, 1);
+    c.rz(1, -1.2);
+
+    Circuit full(2);
+    full.append(c);
+    full.append(c.inverse());
+
+    Statevector sv(2, 0b01);
+    sv.applyCircuit(full);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0b01]), 1.0, 1e-12);
+}
+
+TEST(Circuit, PushValidatesQubits)
+{
+    Circuit c(2);
+    EXPECT_DEATH(c.x(5), "out of range");
+    EXPECT_DEATH(c.cnot(1, 1), "identical");
+}
+
+TEST(Circuit, QasmExport)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cnot(0, 1);
+    c.swap(0, 1);
+    std::string q = c.toQasm();
+    EXPECT_NE(q.find("OPENQASM 2.0"), std::string::npos);
+    EXPECT_NE(q.find("h q[0];"), std::string::npos);
+    EXPECT_NE(q.find("cx q[0],q[1];"), std::string::npos);
+    // SWAP lowered to three cx.
+    size_t count = 0, pos = 0;
+    while ((pos = q.find("cx", pos)) != std::string::npos) {
+        ++count;
+        pos += 2;
+    }
+    EXPECT_EQ(count, 4u);
+}
+
+TEST(Gate, StrFormat)
+{
+    Gate g{GateKind::CNOT, 2, 5};
+    EXPECT_EQ(g.str(), "cx q2, q5");
+    Gate r{GateKind::RZ, 1, 0, 0.25};
+    EXPECT_EQ(r.str(), "rz(0.25) q1");
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for ansatz compression (Section III-B): selection sizes
+ * at every paper ratio, importance-decreasing ordering, random
+ * baseline behaviour, and accuracy monotonicity on H2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ansatz/compression.hh"
+#include "ansatz/importance.hh"
+#include "chem/molecules.hh"
+#include "ferm/hamiltonian.hh"
+#include "sim/lanczos.hh"
+#include "vqe/vqe.hh"
+
+using namespace qcc;
+
+class CompressionRatios : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CompressionRatios, KeepsCeilRatioK)
+{
+    const double ratio = GetParam();
+    const auto &entry = benchmarkMolecule("LiH");
+    MolecularProblem prob = buildMolecularProblem(entry, 1.6);
+    Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
+
+    CompressedAnsatz c = compressAnsatz(full, prob.hamiltonian, ratio);
+    unsigned expected =
+        unsigned(std::ceil(ratio * double(full.nParams)));
+    EXPECT_EQ(c.ansatz.nParams, expected);
+    EXPECT_EQ(c.keptParams.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRatios, CompressionRatios,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9,
+                                           1.0));
+
+TEST(Compression, KeptParamsAreTopImportance)
+{
+    const auto &entry = benchmarkMolecule("LiH");
+    MolecularProblem prob = buildMolecularProblem(entry, 1.6);
+    Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
+    CompressedAnsatz c = compressAnsatz(full, prob.hamiltonian, 0.5);
+
+    auto imp = parameterImportance(full, prob.hamiltonian);
+    double minKept = 1e300;
+    for (unsigned k : c.keptParams)
+        minKept = std::min(minKept, imp[k]);
+    for (unsigned k = 0; k < full.nParams; ++k) {
+        bool kept = std::find(c.keptParams.begin(), c.keptParams.end(),
+                              k) != c.keptParams.end();
+        if (!kept)
+            EXPECT_LE(imp[k], minKept + 1e-12);
+    }
+}
+
+TEST(Compression, OrderedByDecreasingImportance)
+{
+    const auto &entry = benchmarkMolecule("LiH");
+    MolecularProblem prob = buildMolecularProblem(entry, 1.6);
+    Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
+    CompressedAnsatz c = compressAnsatz(full, prob.hamiltonian, 0.7);
+
+    for (size_t i = 1; i < c.keptParams.size(); ++i)
+        EXPECT_GE(c.importance[c.keptParams[i - 1]],
+                  c.importance[c.keptParams[i]] - 1e-12);
+
+    // Rotations appear grouped by new parameter index in order.
+    unsigned maxSeen = 0;
+    for (const auto &r : c.ansatz.rotations) {
+        EXPECT_GE(r.param + 1, maxSeen);
+        maxSeen = std::max(maxSeen, r.param + 1);
+    }
+}
+
+TEST(Compression, FullRatioKeepsEverythingReordered)
+{
+    const auto &entry = benchmarkMolecule("H2");
+    MolecularProblem prob = buildMolecularProblem(entry, 0.74);
+    Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
+    CompressedAnsatz c = compressAnsatz(full, prob.hamiltonian, 1.0);
+    EXPECT_EQ(c.ansatz.nParams, full.nParams);
+    EXPECT_EQ(c.ansatz.numStrings(), full.numStrings());
+}
+
+TEST(Compression, RandomBaselineRespectsSizeAndOrder)
+{
+    const auto &entry = benchmarkMolecule("LiH");
+    MolecularProblem prob = buildMolecularProblem(entry, 1.6);
+    Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
+
+    Rng rng(7);
+    CompressedAnsatz c = randomCompress(full, 0.5, rng);
+    EXPECT_EQ(c.ansatz.nParams, 4u);
+    // Original program order is preserved for the random baseline.
+    for (size_t i = 1; i < c.keptParams.size(); ++i)
+        EXPECT_LT(c.keptParams[i - 1], c.keptParams[i]);
+}
+
+TEST(Compression, RandomSelectionsDifferAcrossSeeds)
+{
+    const auto &entry = benchmarkMolecule("LiH");
+    MolecularProblem prob = buildMolecularProblem(entry, 1.6);
+    Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
+
+    Rng r1(1), r2(2);
+    auto c1 = randomCompress(full, 0.5, r1);
+    auto c2 = randomCompress(full, 0.5, r2);
+    EXPECT_NE(c1.keptParams, c2.keptParams);
+}
+
+TEST(Compression, MoreParametersMoreAccuracy)
+{
+    // Fig. 9 property in miniature: VQE energy error vs the exact
+    // ground state shrinks (weakly) as the ratio grows on H2.
+    const auto &entry = benchmarkMolecule("H2");
+    MolecularProblem prob = buildMolecularProblem(entry, 0.74);
+    Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
+    double exact = lanczosGroundEnergy(prob.hamiltonian);
+
+    double prevErr = 1e300;
+    for (double ratio : {0.4, 0.7, 1.0}) {
+        CompressedAnsatz c =
+            compressAnsatz(full, prob.hamiltonian, ratio);
+        VqeResult r = runVqe(prob.hamiltonian, c.ansatz);
+        double err = r.energy - exact;
+        EXPECT_GE(err, -1e-9); // variational
+        EXPECT_LE(err, prevErr + 1e-9);
+        prevErr = err;
+    }
+}
+
+TEST(Compression, SelectParametersRejectsOutOfRange)
+{
+    Ansatz full = buildUccsd(2, 2);
+    EXPECT_DEATH(selectParameters(full, {99}), "out of range");
+}

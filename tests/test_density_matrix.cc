@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the density-matrix simulator and depolarizing noise
+ * channels: agreement with the statevector simulator in the
+ * noiseless limit, trace preservation, purity decay, and channel
+ * fixed points.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "sim/density_matrix.hh"
+#include "sim/statevector.hh"
+
+using namespace qcc;
+
+namespace {
+
+Circuit
+smallCircuit(unsigned n)
+{
+    Circuit c(n);
+    c.h(0);
+    c.cnot(0, 1);
+    c.rx(1, 0.37);
+    c.rz(0, -0.81);
+    if (n > 2) {
+        c.cnot(1, 2);
+        c.ry(2, 1.1);
+    }
+    return c;
+}
+
+} // namespace
+
+TEST(DensityMatrix, PureStateMatchesStatevector)
+{
+    const unsigned n = 3;
+    Circuit c = smallCircuit(n);
+
+    Statevector sv(n);
+    sv.applyCircuit(c);
+    DensityMatrix rho(n);
+    rho.applyCircuit(c, {});
+
+    for (uint64_t r = 0; r < (1u << n); ++r)
+        for (uint64_t k = 0; k < (1u << n); ++k)
+            EXPECT_NEAR(std::abs(rho.element(r, k) -
+                                 sv.amplitudes()[r] *
+                                     std::conj(sv.amplitudes()[k])),
+                        0.0, 1e-12);
+}
+
+TEST(DensityMatrix, ExpectationMatchesStatevector)
+{
+    const unsigned n = 3;
+    Circuit c = smallCircuit(n);
+    Statevector sv(n);
+    sv.applyCircuit(c);
+    DensityMatrix rho(n);
+    rho.applyCircuit(c, {});
+
+    PauliSum h(n);
+    h.add(0.7, PauliString::fromString("XZY"));
+    h.add(-0.2, PauliString::fromString("IZZ"));
+    h.add(1.1, PauliString(n));
+    EXPECT_NEAR(rho.expectation(h), sv.expectation(h), 1e-12);
+}
+
+TEST(DensityMatrix, TracePreservedUnderNoise)
+{
+    const unsigned n = 2;
+    DensityMatrix rho(n);
+    NoiseModel noise;
+    noise.cnotDepolarizing = 0.05;
+    Circuit c = smallCircuit(n);
+    rho.applyCircuit(c, noise);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, DepolarizingReducesPurity)
+{
+    DensityMatrix rho(2);
+    Circuit c(2);
+    c.h(0);
+    c.cnot(0, 1);
+    rho.applyCircuit(c, {});
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+    rho.depolarize2(0, 1, 0.1);
+    EXPECT_LT(rho.purity(), 1.0);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, FullDepolarizationGivesMaximallyMixed)
+{
+    DensityMatrix rho(2, 0b11);
+    // p = 15/16 is the channel's fixed-point-reaching value: the
+    // output is I/4 for any input.
+    rho.depolarize2(0, 1, 15.0 / 16.0);
+    for (uint64_t r = 0; r < 4; ++r)
+        for (uint64_t c = 0; c < 4; ++c)
+            EXPECT_NEAR(std::abs(rho.element(r, c) -
+                                 (r == c ? 0.25 : 0.0)),
+                        0.0, 1e-12);
+}
+
+TEST(DensityMatrix, MaximallyMixedIsDepolarizingFixedPoint)
+{
+    DensityMatrix rho(2, 0);
+    rho.depolarize2(0, 1, 15.0 / 16.0); // now I/4
+    double before = rho.purity();
+    rho.depolarize2(0, 1, 0.3);
+    EXPECT_NEAR(rho.purity(), before, 1e-12);
+}
+
+TEST(DensityMatrix, SingleQubitDepolarizing)
+{
+    DensityMatrix rho(1, 1);
+    rho.depolarize1(0, 0.75); // fully depolarizing for 1 qubit
+    EXPECT_NEAR(std::abs(rho.element(0, 0) - 0.5), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(rho.element(1, 1) - 0.5), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, NoiseShiftsEnergyTowardZero)
+{
+    // For a traceless observable, depolarizing noise pulls the
+    // expectation toward 0.
+    DensityMatrix rho(2);
+    Circuit c(2);
+    c.h(0);
+    c.cnot(0, 1);
+
+    DensityMatrix clean(2), noisy(2);
+    NoiseModel nm;
+    nm.cnotDepolarizing = 0.2;
+    clean.applyCircuit(c, {});
+    noisy.applyCircuit(c, nm);
+
+    PauliString xx = PauliString::fromString("XX");
+    EXPECT_GT(clean.expectation(xx), noisy.expectation(xx));
+    EXPECT_GT(noisy.expectation(xx), 0.0);
+}
+
+TEST(DensityMatrix, SwapCountsAsThreeCnotChannels)
+{
+    NoiseModel nm;
+    nm.cnotDepolarizing = 0.05;
+
+    Circuit viaSwap(2);
+    viaSwap.swap(0, 1);
+    Circuit viaCnots(2);
+    viaCnots.cnot(0, 1);
+    viaCnots.cnot(1, 0);
+    viaCnots.cnot(0, 1);
+
+    DensityMatrix a(2, 0b01), b(2, 0b01);
+    a.applyCircuit(viaSwap, nm);
+    b.applyCircuit(viaCnots, nm);
+    EXPECT_NEAR(a.purity(), b.purity(), 1e-10);
+}

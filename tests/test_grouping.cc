@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for measurement grouping: qubit-wise commutation,
+ * cover/disjointness invariants of the greedy grouping, shared-basis
+ * correctness, and the reduction it achieves on real Hamiltonians.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chem/molecules.hh"
+#include "ferm/hamiltonian.hh"
+#include "pauli/grouping.hh"
+
+using namespace qcc;
+
+TEST(Grouping, QubitWiseCommutation)
+{
+    auto qwc = [](const char *a, const char *b) {
+        return qubitWiseCommute(PauliString::fromString(a),
+                                PauliString::fromString(b));
+    };
+    EXPECT_TRUE(qwc("XIZ", "XYZ"));  // equal-or-identity everywhere
+    EXPECT_TRUE(qwc("III", "XYZ"));
+    EXPECT_FALSE(qwc("XIZ", "ZIZ")); // X vs Z on one qubit
+    // QWC is stronger than plain commutation: XX and YY commute but
+    // are not qubit-wise commuting.
+    PauliString xx = PauliString::fromString("XX");
+    PauliString yy = PauliString::fromString("YY");
+    EXPECT_TRUE(xx.commutesWith(yy));
+    EXPECT_FALSE(qubitWiseCommute(xx, yy));
+}
+
+TEST(Grouping, CoversAllTermsExactlyOnce)
+{
+    MolecularProblem prob =
+        buildMolecularProblem(benchmarkMolecule("LiH"), 1.6);
+    auto groups = groupQubitWise(prob.hamiltonian);
+
+    std::vector<int> seen(prob.hamiltonian.numTerms(), 0);
+    for (const auto &g : groups)
+        for (size_t idx : g.termIndices)
+            ++seen[idx];
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+TEST(Grouping, MembersQwcWithinEachGroup)
+{
+    MolecularProblem prob =
+        buildMolecularProblem(benchmarkMolecule("H2"), 0.74);
+    auto groups = groupQubitWise(prob.hamiltonian);
+    for (const auto &g : groups) {
+        for (size_t i = 0; i < g.termIndices.size(); ++i) {
+            for (size_t j = i + 1; j < g.termIndices.size(); ++j) {
+                EXPECT_TRUE(qubitWiseCommute(
+                    prob.hamiltonian.terms()[g.termIndices[i]]
+                        .string,
+                    prob.hamiltonian.terms()[g.termIndices[j]]
+                        .string));
+            }
+        }
+    }
+}
+
+TEST(Grouping, BasisCoversEveryMember)
+{
+    MolecularProblem prob =
+        buildMolecularProblem(benchmarkMolecule("H2"), 0.74);
+    auto groups = groupQubitWise(prob.hamiltonian);
+    for (const auto &g : groups) {
+        for (size_t idx : g.termIndices) {
+            const PauliString &p =
+                prob.hamiltonian.terms()[idx].string;
+            // Each member must be obtainable from the basis by
+            // replacing some positions with I.
+            for (unsigned q = 0; q < p.numQubits(); ++q) {
+                if (p.op(q) != PauliOp::I)
+                    EXPECT_EQ(p.op(q), g.basis.op(q));
+            }
+        }
+    }
+}
+
+TEST(Grouping, ReducesSettingsOnRealHamiltonians)
+{
+    for (const char *name : {"H2", "LiH", "NaH"}) {
+        const auto &entry = benchmarkMolecule(name);
+        MolecularProblem prob =
+            buildMolecularProblem(entry, entry.equilibriumBond);
+        auto groups = groupQubitWise(prob.hamiltonian);
+        double reduction =
+            groupingReduction(prob.hamiltonian, groups);
+        EXPECT_LT(groups.size(), prob.hamiltonian.numTerms())
+            << name;
+        EXPECT_GT(reduction, 2.0) << name; // typically 3-5x for QWC
+    }
+}
+
+TEST(Grouping, SingletonHamiltonian)
+{
+    PauliSum h(2);
+    h.add(1.0, PauliString::fromString("XZ"));
+    auto groups = groupQubitWise(h);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].basis.str(), "XZ");
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the RHF solver: known STO-3G energies, the virial
+ * ratio, convergence across the benchmark set, and orbital-energy
+ * ordering sanity (aufbau).
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "chem/hartree_fock.hh"
+#include "chem/molecules.hh"
+
+using namespace qcc;
+
+namespace {
+
+ScfResult
+solve(const std::string &name, double bond)
+{
+    const auto &entry = benchmarkMolecule(name);
+    Molecule mol = entry.build(bond);
+    BasisSet basis = BasisSet::stoNg(mol);
+    IntegralTables ints = computeIntegrals(basis, mol);
+    return runRhf(ints, mol);
+}
+
+} // namespace
+
+TEST(HartreeFock, H2KnownEnergy)
+{
+    // STO-3G H2 at 0.74 A: E_RHF ~ -1.1167 Ha.
+    ScfResult r = solve("H2", 0.74);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.energyTotal, -1.1167, 0.003);
+}
+
+TEST(HartreeFock, H2OKnownEnergy)
+{
+    // STO-3G H2O near equilibrium: E_RHF ~ -74.96 Ha.
+    ScfResult r = solve("H2O", 0.96);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.energyTotal, -74.96, 0.15);
+}
+
+TEST(HartreeFock, LiHKnownEnergy)
+{
+    // STO-3G LiH near equilibrium: E_RHF ~ -7.86 Ha.
+    ScfResult r = solve("LiH", 1.60);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.energyTotal, -7.86, 0.05);
+}
+
+TEST(HartreeFock, AllBenchmarksConverge)
+{
+    for (const auto &entry : benchmarkMolecules()) {
+        ScfResult r = solve(entry.name, entry.equilibriumBond);
+        EXPECT_TRUE(r.converged) << entry.name;
+        EXPECT_LT(r.energyTotal, 0.0) << entry.name;
+        // Occupied orbital energies below virtual ones (aufbau gap).
+        size_t nOcc =
+            size_t(entry.build(entry.equilibriumBond).nElectrons() / 2);
+        ASSERT_LE(nOcc, r.orbitalEnergies.size()) << entry.name;
+        if (nOcc < r.orbitalEnergies.size())
+            EXPECT_LT(r.orbitalEnergies[nOcc - 1],
+                      r.orbitalEnergies[nOcc])
+                << entry.name;
+    }
+}
+
+TEST(HartreeFock, H2DissociationCurveShape)
+{
+    // RHF H2 has a minimum near 0.71 A in STO-3G.
+    double e05 = solve("H2", 0.5).energyTotal;
+    double e07 = solve("H2", 0.72).energyTotal;
+    double e12 = solve("H2", 1.2).energyTotal;
+    EXPECT_LT(e07, e05);
+    EXPECT_LT(e07, e12);
+}
+
+TEST(HartreeFock, DensityIdempotent)
+{
+    // D S D = D for a converged RHF density (projector property).
+    const auto &entry = benchmarkMolecule("LiH");
+    Molecule mol = entry.build(1.6);
+    BasisSet basis = BasisSet::stoNg(mol);
+    IntegralTables ints = computeIntegrals(basis, mol);
+    ScfResult r = runRhf(ints, mol);
+
+    Matrix dsd = r.density * ints.s * r.density;
+    EXPECT_NEAR((dsd - r.density).maxAbs(), 0.0, 1e-6);
+}
+
+TEST(HartreeFock, ElectronCountFromDensity)
+{
+    // Tr(D S) = number of electron pairs.
+    const auto &entry = benchmarkMolecule("H2O");
+    Molecule mol = entry.build(0.96);
+    BasisSet basis = BasisSet::stoNg(mol);
+    IntegralTables ints = computeIntegrals(basis, mol);
+    ScfResult r = runRhf(ints, mol);
+    EXPECT_NEAR((r.density * ints.s).trace(), 5.0, 1e-8);
+}
+
+TEST(HartreeFock, VirialRatioNearTwo)
+{
+    // At equilibrium, -V/T ~ 2 (loosely, for a minimal basis).
+    const auto &entry = benchmarkMolecule("H2");
+    Molecule mol = entry.build(0.74);
+    BasisSet basis = BasisSet::stoNg(mol);
+    IntegralTables ints = computeIntegrals(basis, mol);
+    ScfResult r = runRhf(ints, mol);
+
+    double t = 2.0 * (r.density * ints.t).trace();
+    double vTotal = r.energyTotal - t;
+    EXPECT_NEAR(-vTotal / t, 2.0, 0.15);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for layouts and Algorithm 2 (hierarchical initial
+ * layout), including the paper's Figure 7 worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/layout.hh"
+
+using namespace qcc;
+
+TEST(Layout, IdentityConsistency)
+{
+    Layout l = Layout::identity(3, 5);
+    l.validate();
+    EXPECT_EQ(l.phys(2), 2u);
+    EXPECT_EQ(l.log(4), -1);
+}
+
+TEST(Layout, SwapPhysicalUpdatesBothMaps)
+{
+    Layout l = Layout::identity(2, 4);
+    l.swapPhysical(0, 3); // logical 0 moves to free physical 3
+    l.validate();
+    EXPECT_EQ(l.phys(0), 3u);
+    EXPECT_EQ(l.log(0), -1);
+    l.swapPhysical(3, 1); // logical 0 and logical 1 swap homes
+    l.validate();
+    EXPECT_EQ(l.phys(0), 1u);
+    EXPECT_EQ(l.phys(1), 3u);
+}
+
+TEST(Layout, RandomIsValidPermutation)
+{
+    Rng rng(9);
+    Layout l = Layout::random(5, 9, rng);
+    l.validate();
+}
+
+TEST(CoOccurrence, CountsPairsPerString)
+{
+    std::vector<PauliString> strings = {
+        PauliString::fromString("XXI"), // qubits 1,2
+        PauliString::fromString("XIX"), // qubits 0,2
+    };
+    auto mat = coOccurrence(strings, 3);
+    EXPECT_EQ(mat[2][1], 1u);
+    EXPECT_EQ(mat[2][0], 1u);
+    EXPECT_EQ(mat[1][0], 0u);
+    EXPECT_EQ(mat[2][2], 2u); // qubit 2 in both strings
+}
+
+TEST(HierarchicalLayout, BusiestQubitTakesRoot)
+{
+    // Figure 7-style program: q0 appears in every string, q5 in one.
+    std::vector<PauliString> strings = {
+        PauliString::fromString("IIIXYX"), // q0,q1,q2
+        PauliString::fromString("IIXIXZ"), // q0,q1,q3
+        PauliString::fromString("IYIZIY"), // q0,q2,q4
+        PauliString::fromString("XIIIIX"), // q0,q5
+    };
+    XTree tree = makeXTree(8);
+    Layout l = hierarchicalInitialLayout(strings, tree);
+    l.validate();
+    // q0 is the most-connected logical qubit: level 0 (the root).
+    EXPECT_EQ(l.phys(0), tree.root);
+    // Everything else lands on the lowest available levels: q1..q4
+    // at level 1, q5 pushed to level 2.
+    unsigned level1 = 0;
+    for (unsigned q = 1; q <= 4; ++q)
+        level1 += (tree.level[l.phys(q)] == 1) ? 1 : 0;
+    EXPECT_EQ(level1, 4u);
+    EXPECT_EQ(tree.level[l.phys(5)], 2u);
+}
+
+TEST(HierarchicalLayout, ParentSharesMostStrings)
+{
+    // Figure 7's situation: q5 participates in a single Pauli
+    // string; of the level-1 qubits it shares that string with, q3
+    // is already placed one level up, so q5 attaches under q3.
+    std::vector<PauliString> strings = {
+        PauliString::fromString("IIIXYX"),  // {0,1,2}
+        PauliString::fromString("IIXIXZ"),  // {0,1,3}
+        PauliString::fromString("IYIZIY"),  // {0,2,4}
+        PauliString::fromString("IZXIIZ"),  // {0,3,4}
+        PauliString::fromString("IZZYXX"),  // {0,1,2,3,4}
+        PauliString::fromString("XXIIIZ"),  // {0,4,5}
+    };
+    // Occurrences: q0 highest (all strings), then q4 (4 strings);
+    // q5 lowest (one string) and lands at level 2, choosing the
+    // level-1 parent it co-occurs with (q4).
+    XTree tree = makeXTree(17);
+    Layout l = hierarchicalInitialLayout(strings, tree);
+    l.validate();
+    EXPECT_EQ(l.phys(0), tree.root);
+    EXPECT_EQ(tree.level[l.phys(5)], 2u);
+    unsigned p5 = l.phys(5);
+    int parent = tree.parent[p5];
+    ASSERT_GE(parent, 0);
+    EXPECT_EQ(l.log(unsigned(parent)), 4);
+}
+
+TEST(HierarchicalLayout, HandlesFullOccupancy)
+{
+    // 17 logical qubits on XTree17Q: every spot fills exactly once.
+    std::vector<PauliString> strings;
+    PauliString all(17);
+    for (unsigned q = 0; q < 17; ++q)
+        all.setOp(q, PauliOp::Z);
+    strings.push_back(all);
+    XTree tree = makeXTree(17);
+    Layout l = hierarchicalInitialLayout(strings, tree);
+    l.validate();
+    for (unsigned p = 0; p < 17; ++p)
+        EXPECT_NE(l.log(p), -1);
+}
+
+TEST(HierarchicalLayout, RejectsOversizedPrograms)
+{
+    std::vector<PauliString> strings = {PauliString(20)};
+    XTree tree = makeXTree(17);
+    EXPECT_DEATH(hierarchicalInitialLayout(strings, tree),
+                 "too wide");
+}

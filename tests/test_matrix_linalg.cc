@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the dense matrix type and linear algebra helpers
+ * (Jacobi eigensolver, linear solve, inverse square root).
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/linalg.hh"
+#include "common/matrix.hh"
+#include "common/rng.hh"
+
+using namespace qcc;
+
+TEST(Matrix, BasicOps)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    Matrix b = Matrix::identity(2) * 2.0;
+    Matrix c = a * b;
+    EXPECT_NEAR(c(0, 0), 2, 1e-14);
+    EXPECT_NEAR(c(1, 1), 8, 1e-14);
+    EXPECT_NEAR(a.trace(), 5, 1e-14);
+    EXPECT_NEAR(a.t()(0, 1), 3, 1e-14);
+    EXPECT_NEAR((a - a).maxAbs(), 0.0, 1e-14);
+}
+
+TEST(LinAlg, EigenSymKnownMatrix)
+{
+    // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+    Matrix a(2, 2);
+    a(0, 0) = 2;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 2;
+    EigenSym e = eigenSym(a);
+    EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+}
+
+TEST(LinAlg, EigenSymReconstructs)
+{
+    Rng rng(5);
+    const size_t n = 8;
+    Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i; j < n; ++j)
+            a(i, j) = a(j, i) = rng.gaussian();
+
+    EigenSym e = eigenSym(a);
+    // Check A v_k = w_k v_k for every eigenpair.
+    for (size_t k = 0; k < n; ++k) {
+        for (size_t i = 0; i < n; ++i) {
+            double av = 0;
+            for (size_t j = 0; j < n; ++j)
+                av += a(i, j) * e.vectors(j, k);
+            EXPECT_NEAR(av, e.values[k] * e.vectors(i, k), 1e-9);
+        }
+    }
+    // Eigenvalues ascending.
+    for (size_t k = 1; k < n; ++k)
+        EXPECT_LE(e.values[k - 1], e.values[k] + 1e-12);
+}
+
+TEST(LinAlg, SolveLinearRandomSystem)
+{
+    Rng rng(7);
+    const size_t n = 6;
+    Matrix a(n, n);
+    std::vector<double> xTrue(n);
+    for (size_t i = 0; i < n; ++i) {
+        xTrue[i] = rng.gaussian();
+        for (size_t j = 0; j < n; ++j)
+            a(i, j) = rng.gaussian();
+    }
+    std::vector<double> b(n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            b[i] += a(i, j) * xTrue[j];
+
+    std::vector<double> x = solveLinear(a, b);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], xTrue[i], 1e-9);
+}
+
+TEST(LinAlg, InvSqrtSym)
+{
+    // S^{-1/2} S S^{-1/2} = I for an SPD matrix.
+    Rng rng(11);
+    const size_t n = 5;
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            m(i, j) = rng.gaussian();
+    Matrix s = m * m.t() + Matrix::identity(n) * 0.5;
+
+    Matrix x = invSqrtSym(s);
+    Matrix check = x * s * x;
+    EXPECT_NEAR((check - Matrix::identity(n)).maxAbs(), 0.0, 1e-9);
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the Pauli-string IR: construction, parsing, algebra
+ * (products with phases, commutation), support queries, and the
+ * Algorithm 1 importance decay factor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pauli/pauli.hh"
+
+using namespace qcc;
+
+TEST(PauliString, IdentityByDefault)
+{
+    PauliString p(4);
+    EXPECT_TRUE(p.isIdentity());
+    EXPECT_EQ(p.weight(), 0u);
+    EXPECT_EQ(p.str(), "IIII");
+}
+
+TEST(PauliString, SetAndGetOps)
+{
+    PauliString p(4);
+    p.setOp(0, PauliOp::Z);
+    p.setOp(1, PauliOp::Y);
+    p.setOp(3, PauliOp::X);
+    EXPECT_EQ(p.op(0), PauliOp::Z);
+    EXPECT_EQ(p.op(1), PauliOp::Y);
+    EXPECT_EQ(p.op(2), PauliOp::I);
+    EXPECT_EQ(p.op(3), PauliOp::X);
+    EXPECT_EQ(p.str(), "XIYZ"); // qubit 3 leftmost, paper notation
+    EXPECT_EQ(p.weight(), 3u);
+}
+
+TEST(PauliString, FromStringRoundTrip)
+{
+    for (const char *s : {"IIII", "XIYZ", "ZZZZ", "XYZI", "YYXX"}) {
+        EXPECT_EQ(PauliString::fromString(s).str(), s);
+    }
+}
+
+TEST(PauliString, FromStringMatchesPaperExample)
+{
+    // exp(i theta X3 I2 Y1 Z0) from Figure 2(a).
+    PauliString p = PauliString::fromString("XIYZ");
+    EXPECT_EQ(p.op(3), PauliOp::X);
+    EXPECT_EQ(p.op(2), PauliOp::I);
+    EXPECT_EQ(p.op(1), PauliOp::Y);
+    EXPECT_EQ(p.op(0), PauliOp::Z);
+}
+
+TEST(PauliString, Support)
+{
+    PauliString p = PauliString::fromString("XIYZ");
+    std::vector<unsigned> expected{0, 1, 3};
+    EXPECT_EQ(p.support(), expected);
+    EXPECT_EQ(p.supportMask(), 0b1011u);
+}
+
+TEST(PauliString, SingleQubitProductTable)
+{
+    // X*Y = iZ, Y*X = -iZ, Y*Z = iX, Z*Y = -iX, Z*X = iY, X*Z = -iY.
+    struct Case
+    {
+        PauliOp a, b, r;
+        std::complex<double> phase;
+    };
+    const std::complex<double> i(0, 1);
+    std::vector<Case> cases = {
+        {PauliOp::X, PauliOp::Y, PauliOp::Z, i},
+        {PauliOp::Y, PauliOp::X, PauliOp::Z, -i},
+        {PauliOp::Y, PauliOp::Z, PauliOp::X, i},
+        {PauliOp::Z, PauliOp::Y, PauliOp::X, -i},
+        {PauliOp::Z, PauliOp::X, PauliOp::Y, i},
+        {PauliOp::X, PauliOp::Z, PauliOp::Y, -i},
+        {PauliOp::X, PauliOp::X, PauliOp::I, 1.0},
+        {PauliOp::Y, PauliOp::Y, PauliOp::I, 1.0},
+        {PauliOp::Z, PauliOp::Z, PauliOp::I, 1.0},
+        {PauliOp::I, PauliOp::Y, PauliOp::Y, 1.0},
+    };
+    for (const auto &c : cases) {
+        PauliString a = PauliString::single(1, 0, c.a);
+        PauliString b = PauliString::single(1, 0, c.b);
+        auto [phase, r] = a.product(b);
+        EXPECT_EQ(r.op(0), c.r) << pauliChar(c.a) << pauliChar(c.b);
+        EXPECT_NEAR(std::abs(phase - c.phase), 0.0, 1e-14)
+            << pauliChar(c.a) << pauliChar(c.b);
+    }
+}
+
+TEST(PauliString, MultiQubitProductPhasesCompose)
+{
+    PauliString a = PauliString::fromString("XY");
+    PauliString b = PauliString::fromString("YX");
+    // (X@Y)(Y@X) = (XY)@(YX) = (iZ)@(-iZ) = Z@Z.
+    auto [phase, r] = a.product(b);
+    EXPECT_EQ(r.str(), "ZZ");
+    EXPECT_NEAR(std::abs(phase - std::complex<double>(1, 0)), 0.0,
+                1e-14);
+}
+
+TEST(PauliString, ProductIsAssociative)
+{
+    PauliString a = PauliString::fromString("XYZI");
+    PauliString b = PauliString::fromString("ZZXY");
+    PauliString c = PauliString::fromString("IYXZ");
+    auto [p1, ab] = a.product(b);
+    auto [p2, ab_c] = ab.product(c);
+    auto [p3, bc] = b.product(c);
+    auto [p4, a_bc] = a.product(bc);
+    EXPECT_EQ(ab_c, a_bc);
+    EXPECT_NEAR(std::abs(p1 * p2 - p3 * p4), 0.0, 1e-14);
+}
+
+TEST(PauliString, Commutation)
+{
+    auto commutes = [](const char *a, const char *b) {
+        return PauliString::fromString(a).commutesWith(
+            PauliString::fromString(b));
+    };
+    EXPECT_FALSE(commutes("X", "Y"));
+    EXPECT_TRUE(commutes("X", "X"));
+    EXPECT_TRUE(commutes("I", "Y"));
+    EXPECT_TRUE(commutes("XX", "YY")); // two anticommuting positions
+    EXPECT_FALSE(commutes("XI", "YY"));
+    EXPECT_TRUE(commutes("ZZZZ", "XXXX"));
+    EXPECT_FALSE(commutes("ZZZ", "XXX"));
+}
+
+TEST(PauliString, CommutationMatchesProductOrder)
+{
+    // P, Q commute iff PQ and QP give the same phase.
+    std::vector<std::string> samples = {"XYZ", "ZIX", "YYI", "IZZ",
+                                        "XXX", "IIY"};
+    for (const auto &sa : samples) {
+        for (const auto &sb : samples) {
+            PauliString a = PauliString::fromString(sa);
+            PauliString b = PauliString::fromString(sb);
+            auto [pab, rab] = a.product(b);
+            auto [pba, rba] = b.product(a);
+            EXPECT_EQ(rab, rba);
+            bool same = std::abs(pab - pba) < 1e-14;
+            EXPECT_EQ(a.commutesWith(b), same) << sa << " vs " << sb;
+        }
+    }
+}
+
+TEST(PauliString, ImportanceDecayPaperExample)
+{
+    // Figure 4: Pa = IXYI..., PH = YXXZ... qubit-by-qubit example.
+    // Using the 4-qubit prefix: q3: Pa=I (case 1), q2: PH=I would be
+    // case 2, q1 equal ops (case 3), q0 differing ops (effective).
+    PauliString pa = PauliString::fromString("IXYX");
+    PauliString ph = PauliString::fromString("YXIZ");
+    // q3: Pa=I -> decay; q2: equal X -> decay; q1: PH=I -> decay;
+    // q0: X vs Z differ, both non-I -> effective.
+    EXPECT_EQ(importanceDecay(pa, ph), 3u);
+}
+
+TEST(PauliString, ImportanceDecayBounds)
+{
+    PauliString a = PauliString::fromString("XXXX");
+    PauliString b = PauliString::fromString("ZZZZ");
+    EXPECT_EQ(importanceDecay(a, b), 0u); // all differ
+    EXPECT_EQ(importanceDecay(a, a), 4u); // all equal
+    PauliString id(4);
+    EXPECT_EQ(importanceDecay(a, id), 4u);
+    EXPECT_EQ(importanceDecay(id, b), 4u);
+}
+
+TEST(PauliString, HashDistinguishes)
+{
+    PauliStringHash h;
+    EXPECT_NE(h(PauliString::fromString("XI")),
+              h(PauliString::fromString("IX")));
+    EXPECT_EQ(h(PauliString::fromString("XYZ")),
+              h(PauliString::fromString("XYZ")));
+}

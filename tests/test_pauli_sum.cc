@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for weighted Pauli sums: accumulation, simplification,
+ * products with phase tracking, and Hermiticity diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pauli/pauli_sum.hh"
+
+using namespace qcc;
+
+TEST(PauliSum, AddAndSimplifyMerges)
+{
+    PauliSum s(2);
+    s.add(0.5, PauliString::fromString("XY"));
+    s.add(0.25, PauliString::fromString("XY"));
+    s.add(1.0, PauliString::fromString("ZZ"));
+    EXPECT_EQ(s.numTerms(), 3u);
+    s.simplify();
+    EXPECT_EQ(s.numTerms(), 2u);
+}
+
+TEST(PauliSum, SimplifyDropsCancellations)
+{
+    PauliSum s(2);
+    s.add(0.7, PauliString::fromString("XX"));
+    s.add(-0.7, PauliString::fromString("XX"));
+    s.simplify();
+    EXPECT_EQ(s.numTerms(), 0u);
+}
+
+TEST(PauliSum, ProductTracksPhases)
+{
+    // (X)(Y) = iZ as a sum product.
+    PauliSum a(1), b(1);
+    a.add(1.0, PauliString::fromString("X"));
+    b.add(1.0, PauliString::fromString("Y"));
+    PauliSum ab = a.product(b);
+    ASSERT_EQ(ab.numTerms(), 1u);
+    EXPECT_EQ(ab.terms()[0].string.str(), "Z");
+    EXPECT_NEAR(std::abs(ab.terms()[0].coeff -
+                         std::complex<double>(0, 1)),
+                0.0, 1e-14);
+}
+
+TEST(PauliSum, ProductDistributes)
+{
+    PauliSum a(1);
+    a.add(1.0, PauliString::fromString("X"));
+    a.add(1.0, PauliString::fromString("Z"));
+    PauliSum sq = a.product(a);
+    // (X+Z)^2 = 2I + XZ + ZX = 2I + (-iY) + (iY) = 2I.
+    ASSERT_EQ(sq.numTerms(), 1u);
+    EXPECT_TRUE(sq.terms()[0].string.isIdentity());
+    EXPECT_NEAR(sq.terms()[0].coeff.real(), 2.0, 1e-14);
+}
+
+TEST(PauliSum, IdentityCoeffAndNorm)
+{
+    PauliSum s(3);
+    s.add(-1.5, PauliString(3));
+    s.add(0.5, PauliString::fromString("XXZ"));
+    EXPECT_NEAR(s.identityCoeff().real(), -1.5, 1e-14);
+    EXPECT_NEAR(s.normL1(), 2.0, 1e-14);
+}
+
+TEST(PauliSum, MaxImagCoeff)
+{
+    PauliSum s(1);
+    s.add({1.0, 0.25}, PauliString::fromString("X"));
+    EXPECT_NEAR(s.maxImagCoeff(), 0.25, 1e-14);
+}
+
+TEST(PauliSum, ScaleMultipliesEveryCoeff)
+{
+    PauliSum s(1);
+    s.add(2.0, PauliString::fromString("X"));
+    s.add(3.0, PauliString::fromString("Z"));
+    s.scale({0.0, 1.0});
+    for (const auto &t : s.terms())
+        EXPECT_NEAR(t.coeff.real(), 0.0, 1e-14);
+    EXPECT_NEAR(s.normL1(), 5.0, 1e-14);
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the gate-cancellation peephole pass: inverse-pair
+ * removal, rotation merging, commuting-scan safety, and unitary
+ * preservation on compiled ansatz circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ansatz/uccsd.hh"
+#include "common/rng.hh"
+#include "compiler/chain_synthesis.hh"
+#include "compiler/merge_to_root.hh"
+#include "compiler/peephole.hh"
+#include "sim/statevector.hh"
+
+using namespace qcc;
+
+namespace {
+
+bool
+sameUnitary(const Circuit &a, const Circuit &b, uint64_t seed = 3)
+{
+    Rng rng(seed);
+    Statevector sa(a.numQubits()), sb(b.numQubits());
+    for (auto &amp : sa.amplitudes())
+        amp = cplx(rng.gaussian(), rng.gaussian());
+    sa.normalize();
+    sb.amplitudes() = sa.amplitudes();
+    sa.applyCircuit(a);
+    sb.applyCircuit(b);
+    for (size_t i = 0; i < sa.dim(); ++i)
+        if (std::abs(sa.amplitudes()[i] - sb.amplitudes()[i]) > 1e-10)
+            return false;
+    return true;
+}
+
+} // namespace
+
+TEST(Peephole, CancelsAdjacentInverses)
+{
+    Circuit c(2);
+    c.h(0);
+    c.h(0);
+    c.cnot(0, 1);
+    c.cnot(0, 1);
+    c.s(1);
+    c.sdg(1);
+    Circuit opt = cancelGates(c);
+    EXPECT_EQ(opt.totalGates(), 0u);
+}
+
+TEST(Peephole, MergesRotations)
+{
+    Circuit c(1);
+    c.rz(0, 0.3);
+    c.rz(0, 0.4);
+    PeepholeStats stats;
+    Circuit opt = cancelGates(c, &stats);
+    ASSERT_EQ(opt.totalGates(), 1u);
+    EXPECT_NEAR(opt.gates()[0].angle, 0.7, 1e-12);
+    EXPECT_EQ(stats.mergedRotations, 1u);
+}
+
+TEST(Peephole, MergedRotationsCancelToZero)
+{
+    Circuit c(1);
+    c.rx(0, 0.5);
+    c.rx(0, -0.5);
+    EXPECT_EQ(cancelGates(c).totalGates(), 0u);
+}
+
+TEST(Peephole, ScansPastDisjointGates)
+{
+    // H(0) X(1) H(0): the H pair cancels across the disjoint X.
+    Circuit c(2);
+    c.h(0);
+    c.x(1);
+    c.h(0);
+    Circuit opt = cancelGates(c);
+    EXPECT_EQ(opt.totalGates(), 1u);
+    EXPECT_EQ(opt.gates()[0].kind, GateKind::X);
+}
+
+TEST(Peephole, BlockedByInterveningGateOnSameQubit)
+{
+    // H(0) Z(0) H(0) = X(0): must NOT cancel the H pair.
+    Circuit c(1);
+    c.h(0);
+    c.z(0);
+    c.h(0);
+    Circuit opt = cancelGates(c);
+    EXPECT_EQ(opt.totalGates(), 3u);
+    EXPECT_TRUE(sameUnitary(c, opt));
+}
+
+TEST(Peephole, CnotSharingOneQubitBlocks)
+{
+    // CNOT(0,1) X(1) CNOT(0,1) shares the target: no cancellation.
+    Circuit c(2);
+    c.cnot(0, 1);
+    c.x(1);
+    c.cnot(0, 1);
+    Circuit opt = cancelGates(c);
+    EXPECT_EQ(opt.totalGates(), 3u);
+    EXPECT_TRUE(sameUnitary(c, opt));
+}
+
+TEST(Peephole, ReducesChainSynthesizedAnsatz)
+{
+    // Consecutive strings of one double excitation share basis and
+    // CNOT structure; cancellation should remove a sizable fraction
+    // while preserving the unitary.
+    Ansatz a = buildUccsd(2, 2);
+    std::vector<double> params{0.13, -0.27, 0.31};
+    Circuit chain = synthesizeChainCircuit(a, params, true);
+    PeepholeStats stats;
+    Circuit opt = cancelGates(chain, &stats);
+    EXPECT_LT(opt.totalGates(), chain.totalGates());
+    EXPECT_GT(stats.removedGates + stats.mergedRotations, 10u);
+    EXPECT_TRUE(sameUnitary(chain, opt));
+}
+
+TEST(Peephole, PreservesCompiledMtrCircuit)
+{
+    Ansatz a = buildUccsd(2, 2);
+    std::vector<double> params{0.13, -0.27, 0.31};
+    XTree tree = makeXTree(5);
+    MtrResult mtr = mergeToRootCompile(a, params, tree, true);
+    Circuit opt = cancelGates(mtr.circuit);
+    EXPECT_LE(opt.totalGates(), mtr.circuit.totalGates());
+    EXPECT_TRUE(sameUnitary(mtr.circuit, opt));
+}
+
+TEST(Peephole, IdempotentAtFixedPoint)
+{
+    Ansatz a = buildUccsd(2, 2);
+    std::vector<double> params{0.13, -0.27, 0.31};
+    Circuit chain = synthesizeChainCircuit(a, params, true);
+    Circuit once = cancelGates(chain);
+    Circuit twice = cancelGates(once);
+    EXPECT_EQ(once.totalGates(), twice.totalGates());
+}

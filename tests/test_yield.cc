@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the frequency-collision yield model: collision
+ * predicates, frequency allocation quality, Monte-Carlo behaviour
+ * (monotone in precision), and the X-Tree vs grid yield advantage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/grid.hh"
+#include "arch/xtree.hh"
+#include "arch/yield.hh"
+
+using namespace qcc;
+
+namespace {
+
+CouplingGraph
+pairGraph()
+{
+    CouplingGraph g(2);
+    g.addEdge(0, 1);
+    return g;
+}
+
+} // namespace
+
+TEST(Yield, DegenerateNeighborsCollide)
+{
+    CouplingGraph g = pairGraph();
+    EXPECT_TRUE(hasCollision(g, {5.0, 5.0}, {}));
+    EXPECT_TRUE(hasCollision(g, {5.0, 5.01}, {}));  // type 1 window
+    EXPECT_FALSE(hasCollision(g, {5.0, 5.06}, {})); // clean detuning
+}
+
+TEST(Yield, HalfAnharmonicityCollision)
+{
+    CouplingGraph g = pairGraph();
+    // alpha = -0.33: f_j - f_k = 0.165 is the two-photon collision.
+    EXPECT_TRUE(hasCollision(g, {5.165, 5.0}, {}));
+    EXPECT_FALSE(hasCollision(g, {5.12, 5.0}, {}));
+}
+
+TEST(Yield, StraddleViolation)
+{
+    CouplingGraph g = pairGraph();
+    // Detuning beyond |alpha| leaves the straddling regime (type 4
+    // in our model; also a type-3 window at exactly alpha).
+    EXPECT_TRUE(hasCollision(g, {5.5, 5.0}, {}));
+    CollisionModel noStraddle;
+    noStraddle.enforceStraddle = false;
+    EXPECT_FALSE(hasCollision(g, {5.5, 5.0}, noStraddle));
+}
+
+TEST(Yield, SpectatorCollision)
+{
+    // Path 1-0-2: qubit 0 is the CR control of both gates when it
+    // has the highest frequency; degenerate spectators collide.
+    CouplingGraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    EXPECT_TRUE(hasCollision(g, {5.2, 5.1, 5.1}, {}));
+    EXPECT_FALSE(hasCollision(g, {5.2, 5.1, 5.04}, {}));
+}
+
+TEST(Yield, AllocationIsCollisionFreeAtDesign)
+{
+    for (unsigned n : {5u, 8u, 17u}) {
+        XTree t = makeXTree(n);
+        auto f = allocateFrequencies(t.graph);
+        EXPECT_FALSE(hasCollision(t.graph, f, {}))
+            << "XTree" << n << "Q design frequencies collide";
+    }
+    CouplingGraph g = makeGrid17Q();
+    auto f = allocateFrequencies(g);
+    EXPECT_FALSE(hasCollision(g, f, {})) << "Grid17Q design collides";
+}
+
+TEST(Yield, PerfectFabricationYieldsOne)
+{
+    XTree t = makeXTree(17);
+    auto f = allocateFrequencies(t.graph);
+    Rng rng(3);
+    EXPECT_NEAR(simulateYield(t.graph, f, 1e-6, 200, rng), 1.0,
+                1e-12);
+}
+
+TEST(Yield, MonotoneInPrecision)
+{
+    // Figure 11's x-axis (precision 0.2-0.6 GHz) maps to sigma =
+    // 0.02-0.06 via paperPrecisionToSigma; yield must fall.
+    XTree t = makeXTree(17);
+    auto f = allocateFrequencies(t.graph);
+    Rng rng(11);
+    double prev = 1.1;
+    for (double sigma : {0.02, 0.03, 0.05, 0.08}) {
+        double y = simulateYield(t.graph, f, sigma, 6000, rng);
+        EXPECT_LT(y, prev) << "sigma = " << sigma;
+        prev = y;
+    }
+}
+
+TEST(Yield, TreeBeatsGrid)
+{
+    // Section VI-E's claim: fewer couplers -> higher yield; around
+    // mid-range precision the gap approaches the paper's ~8x.
+    XTree t = makeXTree(17);
+    CouplingGraph g = makeGrid17Q();
+    auto ft = allocateFrequencies(t.graph);
+    auto fg = allocateFrequencies(g);
+    Rng r1(5), r2(5);
+    double yt = simulateYield(t.graph, ft, 0.05, 20000, r1);
+    double yg = simulateYield(g, fg, 0.05, 20000, r2);
+    EXPECT_GT(yt, yg);
+    EXPECT_GT(yt, 3.0 * yg); // clear separation, not noise
+}
+
+TEST(Yield, DeterministicUnderSeed)
+{
+    XTree t = makeXTree(8);
+    auto f = allocateFrequencies(t.graph);
+    Rng a(42), b(42);
+    EXPECT_EQ(simulateYield(t.graph, f, 0.08, 1000, a),
+              simulateYield(t.graph, f, 0.08, 1000, b));
+}
