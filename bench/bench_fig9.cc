@@ -18,6 +18,7 @@
 #include "bench_util.hh"
 #include "chem/molecules.hh"
 #include "ferm/hamiltonian.hh"
+#include "sim/backend.hh"
 #include "sim/lanczos.hh"
 #include "vqe/vqe.hh"
 
@@ -46,6 +47,7 @@ main()
 {
     setVerbose(false);
     banner("Figure 9: accuracy and iterations vs compression ratio");
+    JsonReport json("fig9");
 
     std::vector<std::string> molecules =
         fullMode()
@@ -76,7 +78,11 @@ main()
             Ansatz full =
                 buildUccsd(prob.nSpatial, prob.nElectrons);
 
-            VqeResult rFull = runVqe(prob.hamiltonian, full);
+            // One ideal backend per sweep point, reused (and
+            // re-prepared in place) by every VQE run below.
+            StatevectorBackend backend(prob.nQubits);
+            VqeResult rFull =
+                runVqe(backend, prob.hamiltonian, full);
             std::printf("%-7.2f %12.5f %12.5f", bond, exact,
                         rFull.energy);
 
@@ -85,7 +91,7 @@ main()
                 CompressedAnsatz comp = compressAnsatz(
                     full, prob.hamiltonian, ratios[ri]);
                 VqeResult r =
-                    runVqe(prob.hamiltonian, comp.ansatz);
+                    runVqe(backend, prob.hamiltonian, comp.ansatz);
                 std::printf(" %8.5f", r.energy);
                 acc.sumIterRatio[ri] += r.iterations;
                 acc.sumAbsErrRatio[ri] +=
@@ -98,8 +104,9 @@ main()
                 Rng rng(1000 + s);
                 CompressedAnsatz rnd =
                     randomCompress(full, 0.5, rng);
-                randMean +=
-                    runVqe(prob.hamiltonian, rnd.ansatz).energy;
+                randMean += runVqe(backend, prob.hamiltonian,
+                                   rnd.ansatz)
+                                .energy;
             }
             randMean /= randomSeeds;
             std::printf("   %12.5f\n", randMean);
@@ -113,14 +120,17 @@ main()
         MolecularProblem prob =
             buildMolecularProblem(entry, entry.equilibriumBond);
         Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
-        std::printf("iterations @eq:      full=%d ",
-                    runVqe(prob.hamiltonian, full).iterations);
+        StatevectorBackend backend(prob.nQubits);
+        std::printf(
+            "iterations @eq:      full=%d ",
+            runVqe(backend, prob.hamiltonian, full).iterations);
         for (double r : ratios) {
             CompressedAnsatz comp =
                 compressAnsatz(full, prob.hamiltonian, r);
-            std::printf(" %3.0f%%=%d", 100 * r,
-                        runVqe(prob.hamiltonian, comp.ansatz)
-                            .iterations);
+            std::printf(
+                " %3.0f%%=%d", 100 * r,
+                runVqe(backend, prob.hamiltonian, comp.ansatz)
+                    .iterations);
         }
         std::printf("\n");
     }
@@ -131,14 +141,24 @@ main()
                 "iteration speedup");
     std::printf("%-12s %16.5f %19.1fx\n", "Orig UCCSD",
                 acc.sumAbsErrFull / acc.points, 1.0);
+    json.row("full_uccsd",
+             {{"mean_abs_error_ha", acc.sumAbsErrFull / acc.points},
+              {"iteration_speedup", 1.0},
+              {"sweep_points", double(acc.points)}});
     for (size_t ri = 0; ri < ratios.size(); ++ri) {
         char label[16];
         std::snprintf(label, sizeof(label), "%.0f%% Param.",
                       100 * ratios[ri]);
-        std::printf("%-12s %16.5f %19.1fx\n", label,
-                    acc.sumAbsErrRatio[ri] / acc.points,
-                    acc.sumIterFull /
-                        std::max(1.0, acc.sumIterRatio[ri]));
+        const double meanErr = acc.sumAbsErrRatio[ri] / acc.points;
+        const double speedup =
+            acc.sumIterFull / std::max(1.0, acc.sumIterRatio[ri]);
+        std::printf("%-12s %16.5f %19.1fx\n", label, meanErr,
+                    speedup);
+        char jlabel[24];
+        std::snprintf(jlabel, sizeof(jlabel), "ratio_%.0f",
+                      100 * ratios[ri]);
+        json.row(jlabel, {{"mean_abs_error_ha", meanErr},
+                          {"iteration_speedup", speedup}});
     }
     std::printf("(paper: speedups 14.3x/4.8x/2.5x/1.6x/1.1x for "
                 "10..90%%; ~0.05%% energy error at 50%%)\n");

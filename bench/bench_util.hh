@@ -1,11 +1,16 @@
 /**
  * @file
  * Shared helpers for the reproduction benches: quick/full profile
- * selection (QCC_FULL=1 environment variable) and table formatting.
- * Every bench prints the rows of the paper table/figure it
- * regenerates; quick mode trims molecule sizes and Monte-Carlo /
- * optimizer budgets so the whole suite runs in minutes on a laptop,
- * while full mode matches the paper's scale.
+ * selection (QCC_FULL=1 environment variable), table formatting, and
+ * machine-readable JSON capture. Every bench prints the rows of the
+ * paper table/figure it regenerates; quick mode trims molecule sizes
+ * and Monte-Carlo / optimizer budgets so the whole suite runs in
+ * minutes on a laptop, while full mode matches the paper's scale.
+ *
+ * Setting QCC_JSON=1 (or QCC_JSON=<directory>) additionally writes
+ * each bench's headline numbers as BENCH_<name>.json, so result
+ * trajectories can be captured across revisions without scraping
+ * stdout.
  */
 
 #ifndef QCC_BENCH_BENCH_UTIL_HH
@@ -14,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -46,6 +52,80 @@ banner(const std::string &title)
                 fullMode() ? "full" : "quick");
     rule('=');
 }
+
+/**
+ * Machine-readable result sink. Rows of labeled metric maps are
+ * collected during the run and flushed to BENCH_<name>.json on
+ * destruction when QCC_JSON is set; otherwise every call is a no-op.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench_name)
+        : name(std::move(bench_name))
+    {
+        const char *env = std::getenv("QCC_JSON");
+        if (!env)
+            return;
+        std::string dir(env);
+        if (dir.empty() || dir == "0")
+            return;
+        path = (dir == "1" ? std::string() : dir + "/") +
+               "BENCH_" + name + ".json";
+    }
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    ~JsonReport() { write(); }
+
+    bool enabled() const { return !path.empty(); }
+
+    /** Append one labeled row of metric key/value pairs. */
+    void
+    row(const std::string &label,
+        std::vector<std::pair<std::string, double>> metrics)
+    {
+        if (enabled())
+            rows.emplace_back(label, std::move(metrics));
+    }
+
+    /** Flush to disk (idempotent; also run by the destructor). */
+    void
+    write()
+    {
+        if (!enabled() || written)
+            return;
+        written = true; // one attempt, even if it fails
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            qcc::warn("JsonReport: cannot write " + path);
+            return;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name.c_str());
+        std::fprintf(f, "  \"mode\": \"%s\",\n",
+                     fullMode() ? "full" : "quick");
+        std::fprintf(f, "  \"rows\": [");
+        for (size_t r = 0; r < rows.size(); ++r) {
+            std::fprintf(f, "%s\n    {\"label\": \"%s\"",
+                         r ? "," : "", rows[r].first.c_str());
+            for (const auto &[k, v] : rows[r].second)
+                std::fprintf(f, ", \"%s\": %.12g", k.c_str(), v);
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "\n  ]\n}\n");
+        std::fclose(f);
+        std::printf("[json] wrote %s\n", path.c_str());
+    }
+
+  private:
+    std::string name;
+    std::string path;
+    std::vector<std::pair<
+        std::string, std::vector<std::pair<std::string, double>>>>
+        rows;
+    bool written = false;
+};
 
 } // namespace qccbench
 

@@ -1,0 +1,157 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace qcc {
+
+unsigned
+parallelThreads()
+{
+    static const unsigned n = [] {
+        if (const char *env = std::getenv("QCC_THREADS")) {
+            long v = std::strtol(env, nullptr, 10);
+            if (v >= 1)
+                return unsigned(v);
+        }
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1u;
+    }();
+    return n;
+}
+
+namespace detail {
+
+namespace {
+
+thread_local bool insideJob = false;
+
+/**
+ * Persistent pool of parallelThreads() - 1 workers plus the calling
+ * thread. One job runs at a time; workers claim chunk indices from a
+ * shared atomic counter, so uneven chunks load-balance naturally.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool(parallelThreads());
+        return pool;
+    }
+
+    void
+    run(size_t n_chunks, const std::function<void(size_t)> &fn)
+    {
+        std::unique_lock<std::mutex> jobLock(jobMutex);
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            job = &fn;
+            nextChunk.store(0, std::memory_order_relaxed);
+            totalChunks = n_chunks;
+            pendingChunks.store(n_chunks, std::memory_order_relaxed);
+            ++generation;
+        }
+        cv.notify_all();
+        work();
+        // Wait for chunks claimed by workers but not yet finished.
+        std::unique_lock<std::mutex> lk(mtx);
+        doneCv.wait(lk, [&] {
+            return pendingChunks.load(std::memory_order_acquire) == 0;
+        });
+        job = nullptr;
+    }
+
+  private:
+    explicit ThreadPool(unsigned n_threads)
+    {
+        for (unsigned i = 0; i + 1 < n_threads; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            stopping = true;
+            ++generation;
+        }
+        cv.notify_all();
+        for (auto &w : workers)
+            w.join();
+    }
+
+    void
+    work()
+    {
+        for (;;) {
+            size_t ci = nextChunk.fetch_add(1, std::memory_order_relaxed);
+            if (ci >= totalChunks)
+                return;
+            (*job)(ci);
+            if (pendingChunks.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+                std::lock_guard<std::mutex> lk(mtx);
+                doneCv.notify_all();
+            }
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        insideJob = true; // nested sweeps inside a chunk stay serial
+        uint64_t seen = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lk(mtx);
+                cv.wait(lk, [&] {
+                    return stopping || generation != seen;
+                });
+                if (stopping)
+                    return;
+                seen = generation;
+            }
+            work();
+        }
+    }
+
+    std::vector<std::thread> workers;
+    std::mutex jobMutex; ///< serializes run() callers
+    std::mutex mtx;
+    std::condition_variable cv, doneCv;
+    const std::function<void(size_t)> *job = nullptr;
+    std::atomic<size_t> nextChunk{0};
+    std::atomic<size_t> pendingChunks{0};
+    size_t totalChunks = 0;
+    uint64_t generation = 0;
+    bool stopping = false;
+};
+
+} // namespace
+
+void
+poolRun(size_t n_chunks, const std::function<void(size_t)> &chunk_fn)
+{
+    if (n_chunks == 0)
+        return;
+    // Nested parallelism (a chunk spawning chunks) runs serially: the
+    // pool executes one job at a time and re-entering would deadlock.
+    if (insideJob || parallelThreads() <= 1 || n_chunks == 1) {
+        for (size_t ci = 0; ci < n_chunks; ++ci)
+            chunk_fn(ci);
+        return;
+    }
+    insideJob = true;
+    ThreadPool::instance().run(n_chunks, chunk_fn);
+    insideJob = false;
+}
+
+} // namespace detail
+
+} // namespace qcc

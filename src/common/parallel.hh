@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Block-parallel helpers for the simulator's amplitude sweeps. A
+ * persistent std::thread pool executes chunked index ranges; small
+ * ranges (or single-core machines, or QCC_THREADS=1) run inline so
+ * the kernels stay deterministic and cheap at low qubit counts.
+ * Reductions combine per-chunk partials in chunk order, so results
+ * are bit-identical regardless of thread timing.
+ */
+
+#ifndef QCC_COMMON_PARALLEL_HH
+#define QCC_COMMON_PARALLEL_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace qcc {
+
+/**
+ * Worker count used for parallel sweeps: QCC_THREADS when set,
+ * otherwise std::thread::hardware_concurrency (at least 1).
+ */
+unsigned parallelThreads();
+
+namespace detail {
+
+/**
+ * Run chunk_fn(0) ... chunk_fn(n_chunks - 1) on the shared pool,
+ * blocking until every chunk finishes. Chunks must be independent.
+ * Nested calls from inside a chunk run serially.
+ */
+void poolRun(size_t n_chunks, const std::function<void(size_t)> &chunk_fn);
+
+/** Split [begin, end) into at most max_chunks grain-sized pieces. */
+inline size_t
+chunkCount(size_t begin, size_t end, size_t grain, size_t max_chunks)
+{
+    const size_t n = end - begin;
+    return std::min(max_chunks, (n + grain - 1) / grain);
+}
+
+} // namespace detail
+
+/** Default minimum elements per chunk; below ~2*this a sweep is serial. */
+constexpr size_t kParallelGrain = size_t{1} << 14;
+
+/**
+ * Apply body(lo, hi) over a partition of [begin, end). The body may
+ * write freely inside its own subrange (and to pair partners that no
+ * other subrange selects, as the bit-mask kernels do).
+ */
+template <typename Body>
+void
+parallelFor(size_t begin, size_t end, Body &&body,
+            size_t grain = kParallelGrain)
+{
+    const unsigned nt = parallelThreads();
+    if (nt <= 1 || end - begin <= 2 * grain) {
+        if (begin < end)
+            body(begin, end);
+        return;
+    }
+    const size_t chunks =
+        detail::chunkCount(begin, end, grain, size_t{nt} * 4);
+    const size_t step = (end - begin + chunks - 1) / chunks;
+    detail::poolRun(chunks, [&](size_t ci) {
+        const size_t lo = begin + ci * step;
+        const size_t hi = std::min(end, lo + step);
+        if (lo < hi)
+            body(lo, hi);
+    });
+}
+
+/**
+ * Reduce body(lo, hi) -> T over a partition of [begin, end); partials
+ * are combined with += in chunk order (deterministic).
+ */
+template <typename T, typename Body>
+T
+parallelReduce(size_t begin, size_t end, T init, Body &&body,
+               size_t grain = kParallelGrain)
+{
+    const unsigned nt = parallelThreads();
+    if (nt <= 1 || end - begin <= 2 * grain) {
+        T acc = init;
+        if (begin < end)
+            acc += body(begin, end);
+        return acc;
+    }
+    const size_t chunks =
+        detail::chunkCount(begin, end, grain, size_t{nt} * 4);
+    const size_t step = (end - begin + chunks - 1) / chunks;
+    std::vector<T> partial(chunks, init);
+    detail::poolRun(chunks, [&](size_t ci) {
+        const size_t lo = begin + ci * step;
+        const size_t hi = std::min(end, lo + step);
+        if (lo < hi)
+            partial[ci] = body(lo, hi);
+    });
+    T acc = init;
+    for (size_t ci = 0; ci < chunks; ++ci)
+        acc += partial[ci];
+    return acc;
+}
+
+} // namespace qcc
+
+#endif // QCC_COMMON_PARALLEL_HH

@@ -51,6 +51,18 @@ groupQubitWise(const PauliSum &h)
     return groups;
 }
 
+std::vector<std::pair<unsigned, PauliOp>>
+basisChangeOps(const PauliString &basis)
+{
+    std::vector<std::pair<unsigned, PauliOp>> ops;
+    for (unsigned q : basis.support()) {
+        PauliOp op = basis.op(q);
+        if (op == PauliOp::X || op == PauliOp::Y)
+            ops.emplace_back(q, op);
+    }
+    return ops;
+}
+
 double
 groupingReduction(const PauliSum &h,
                   const std::vector<MeasurementGroup> &groups)

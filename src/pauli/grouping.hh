@@ -10,6 +10,7 @@
 #ifndef QCC_PAULI_GROUPING_HH
 #define QCC_PAULI_GROUPING_HH
 
+#include <utility>
 #include <vector>
 
 #include "pauli/pauli_sum.hh"
@@ -45,6 +46,17 @@ std::vector<MeasurementGroup> groupQubitWise(const PauliSum &h);
 /** Number of measurement settings saved vs. one-term-per-setting. */
 double groupingReduction(const PauliSum &h,
                          const std::vector<MeasurementGroup> &groups);
+
+/**
+ * Single-qubit rotations diagonalizing a family's measurement basis:
+ * the (qubit, operator) pairs where the basis is X or Y. Applying H
+ * (for X) or H S-dagger (for Y) on those qubits maps every member of
+ * the family to a Z-string on its own support, which is what lets an
+ * expectation engine evaluate the whole family in one probability
+ * sweep (see vqe/expectation_engine.hh).
+ */
+std::vector<std::pair<unsigned, PauliOp>>
+basisChangeOps(const PauliString &basis);
 
 } // namespace qcc
 

@@ -1,0 +1,37 @@
+#include "sim/backend.hh"
+
+#include "common/logging.hh"
+#include "compiler/chain_synthesis.hh"
+
+namespace qcc {
+
+void
+SimBackend::applyAnsatz(const Ansatz &ansatz,
+                        const std::vector<double> &params)
+{
+    if (params.size() != ansatz.nParams)
+        fatal("SimBackend::applyAnsatz: parameter count mismatch");
+    if (ansatz.nQubits != numQubits())
+        fatal("SimBackend::applyAnsatz: width mismatch");
+    prepare(ansatz.hfMask);
+    for (const auto &r : ansatz.rotations)
+        applyPauliRotation(params[r.param] * r.coeff, r.string);
+}
+
+void
+DensityMatrixBackend::applyAnsatz(const Ansatz &ansatz,
+                                  const std::vector<double> &params)
+{
+    if (params.size() != ansatz.nParams)
+        fatal("DensityMatrixBackend::applyAnsatz: parameter count "
+              "mismatch");
+    if (ansatz.nQubits != numQubits())
+        fatal("DensityMatrixBackend::applyAnsatz: width mismatch");
+    // Execute the gate-level circuit (HF preparation included) so the
+    // noise model charges every synthesized CNOT.
+    Circuit c = synthesizeChainCircuit(ansatz, params, true);
+    prepare(0);
+    applyCircuit(c);
+}
+
+} // namespace qcc

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "sim/kernels.hh"
 #include "sim/statevector.hh"
 
 namespace qcc {
@@ -20,6 +21,15 @@ DensityMatrix::DensityMatrix(unsigned n, uint64_t basis)
     vec[basis | (basis << n)] = 1.0;
 }
 
+void
+DensityMatrix::reset(uint64_t basis)
+{
+    if (basis >= (uint64_t{1} << nQubits))
+        panic("DensityMatrix::reset: basis state out of range");
+    std::fill(vec.begin(), vec.end(), complex<double>(0, 0));
+    vec[basis | (basis << nQubits)] = 1.0;
+}
+
 complex<double>
 DensityMatrix::element(uint64_t r, uint64_t c) const
 {
@@ -29,26 +39,13 @@ DensityMatrix::element(uint64_t r, uint64_t c) const
 void
 DensityMatrix::applyRaw1q(unsigned bit_index, const complex<double> u[4])
 {
-    const uint64_t bit = 1ull << bit_index;
-    const size_t n = vec.size();
-    for (size_t b = 0; b < n; ++b) {
-        if (b & bit)
-            continue;
-        complex<double> a0 = vec[b];
-        complex<double> a1 = vec[b | bit];
-        vec[b] = u[0] * a0 + u[1] * a1;
-        vec[b | bit] = u[2] * a0 + u[3] * a1;
-    }
+    kern::apply1q(vec.data(), vec.size(), bit_index, u);
 }
 
 void
 DensityMatrix::applyRawCnot(unsigned control_bit, unsigned target_bit)
 {
-    const uint64_t cb = 1ull << control_bit, tb = 1ull << target_bit;
-    const size_t n = vec.size();
-    for (size_t b = 0; b < n; ++b)
-        if ((b & cb) && !(b & tb))
-            std::swap(vec[b], vec[b | tb]);
+    kern::applyCx(vec.data(), vec.size(), control_bit, target_bit);
 }
 
 void
@@ -79,6 +76,22 @@ DensityMatrix::applyGate(const Gate &g)
           return;
       }
     }
+}
+
+void
+DensityMatrix::applyPauliRotation(double theta, const PauliString &p)
+{
+    if (p.numQubits() != nQubits)
+        panic("DensityMatrix::applyPauliRotation: width mismatch");
+    const uint64_t x = p.xMask(), z = p.zMask();
+    // Ket side: U = exp(i theta P). Bra side: conj(U) = exp(-i theta
+    // conj(P)) with conj(P) = (-1)^{|x&z|} P, acting on the shifted
+    // masks.
+    kern::applyPauliRotation(vec.data(), vec.size(), x, z, theta);
+    const double braTheta =
+        (std::popcount(x & z) & 1) ? theta : -theta;
+    kern::applyPauliRotation(vec.data(), vec.size(), x << nQubits,
+                             z << nQubits, braTheta);
 }
 
 void

@@ -26,6 +26,9 @@ class DensityMatrix
     /** |basis><basis| on n qubits. */
     explicit DensityMatrix(unsigned n, uint64_t basis = 0);
 
+    /** Reset to |basis><basis| without reallocating. */
+    void reset(uint64_t basis = 0);
+
     unsigned numQubits() const { return nQubits; }
 
     /** Matrix element <r| rho |c>. */
@@ -33,6 +36,13 @@ class DensityMatrix
 
     /** Apply a unitary gate (rho -> U rho U+). */
     void applyGate(const Gate &g);
+
+    /**
+     * Exact (noise-free) rho -> U rho U+ for U = exp(i theta P),
+     * applied directly on the vectorized form: the rotation on the
+     * ket index bits and its conjugate on the bra bits.
+     */
+    void applyPauliRotation(double theta, const PauliString &p);
 
     /** Apply a circuit, inserting noise channels per the model. */
     void applyCircuit(const Circuit &c, const NoiseModel &noise = {});

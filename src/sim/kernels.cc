@@ -1,0 +1,307 @@
+#include "sim/kernels.hh"
+
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "common/parallel.hh"
+
+namespace qcc {
+namespace kern {
+
+namespace {
+
+/** i^{e mod 4}. */
+inline cplx
+iPow(int e)
+{
+    static const cplx table[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    return table[e & 3];
+}
+
+/**
+ * Seed reference phase: P|b> = i^{|x&z|} (-1)^{|z & b|} |b ^ x| for
+ * the canonical Pauli (x, z).
+ */
+inline cplx
+pauliPhase(uint64_t x, uint64_t z, uint64_t b)
+{
+    return iPow(std::popcount(x & z) + 2 * std::popcount(z & b));
+}
+
+/** +1 / -1 according to the parity of |m & b|. */
+inline double
+paritySign(uint64_t m, uint64_t b)
+{
+    return (std::popcount(m & b) & 1) ? -1.0 : 1.0;
+}
+
+} // namespace
+
+void
+apply1q(cplx *amp, size_t dim, unsigned q, const cplx u[4])
+{
+    const uint64_t bit = 1ull << q;
+    const cplx u0 = u[0], u1 = u[1], u2 = u[2], u3 = u[3];
+    parallelFor(0, dim / 2, [=](size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) {
+            const size_t b = expandBit(k, bit);
+            const cplx a0 = amp[b], a1 = amp[b | bit];
+            amp[b] = u0 * a0 + u1 * a1;
+            amp[b | bit] = u2 * a0 + u3 * a1;
+        }
+    });
+}
+
+void
+applyDiag1q(cplx *amp, size_t dim, unsigned q, cplx d0, cplx d1)
+{
+    const uint64_t bit = 1ull << q;
+    parallelFor(0, dim, [=](size_t lo, size_t hi) {
+        for (size_t b = lo; b < hi; ++b)
+            amp[b] *= (b & bit) ? d1 : d0;
+    });
+}
+
+void
+applyX(cplx *amp, size_t dim, unsigned q)
+{
+    const uint64_t bit = 1ull << q;
+    parallelFor(0, dim / 2, [=](size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) {
+            const size_t b = expandBit(k, bit);
+            std::swap(amp[b], amp[b | bit]);
+        }
+    });
+}
+
+void
+applyCx(cplx *amp, size_t dim, unsigned control, unsigned target)
+{
+    const uint64_t cb = 1ull << control, tb = 1ull << target;
+    parallelFor(0, dim / 2, [=](size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) {
+            const size_t b = expandBit(k, tb);
+            if (b & cb)
+                std::swap(amp[b], amp[b | tb]);
+        }
+    });
+}
+
+void
+applySwap(cplx *amp, size_t dim, unsigned a, unsigned b)
+{
+    const uint64_t ab = 1ull << a, bb = 1ull << b;
+    parallelFor(0, dim / 2, [=](size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) {
+            // idx has the b-bit clear; its |01> <-> |10> partner is in
+            // the other half of the pair loop, so each pair is visited
+            // exactly once.
+            const size_t idx = expandBit(k, bb);
+            if (idx & ab)
+                std::swap(amp[idx], amp[idx ^ (ab | bb)]);
+        }
+    });
+}
+
+void
+applyPauliRotation(cplx *amp, size_t dim, uint64_t x, uint64_t z,
+                   double theta)
+{
+    const double c = std::cos(theta);
+    const cplx is(0, std::sin(theta));
+
+    if (x == 0) {
+        // Diagonal string (|x&z| = 0): a two-valued per-amplitude
+        // phase selected by the parity of |z & b|.
+        const cplx fEven = c + is, fOdd = c - is;
+        parallelFor(0, dim, [=](size_t lo, size_t hi) {
+            for (size_t b = lo; b < hi; ++b)
+                amp[b] *= (std::popcount(z & b) & 1) ? fOdd : fEven;
+        });
+        return;
+    }
+
+    // Pair kernel. With u = i sin(t) i^{|x&z|} and the partner-sign
+    // relation (-1)^{|z & (b^x)|} = sigma * (-1)^{|z & b|} where
+    // sigma = (-1)^{|z & x|}, each pair costs one popcount:
+    //   amp[b]   = c a   + u sigma s_b a2
+    //   amp[b^x] = c a2  + u       s_b a
+    // The update is written in real arithmetic so the compiler emits
+    // plain FMAs instead of Annex-G complex multiplies.
+    const cplx u = is * iPow(std::popcount(x & z));
+    const double sigma = paritySign(z, x);
+    const double ur = u.real(), ui = u.imag();
+    const double vr = sigma * ur, vi = sigma * ui;
+    const uint64_t pivot = x & (~x + 1); // lowest set bit of x
+    parallelFor(0, dim / 2, [=](size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) {
+            const size_t b = expandBit(k, pivot);
+            const size_t b2 = b ^ x;
+            const double sb = paritySign(z, b);
+            const double wr = sb * ur, wi = sb * ui;
+            const double xr = sb * vr, xi = sb * vi;
+            const double ar = amp[b].real(), ai = amp[b].imag();
+            const double br = amp[b2].real(), bi = amp[b2].imag();
+            amp[b] = cplx(c * ar + xr * br - xi * bi,
+                          c * ai + xr * bi + xi * br);
+            amp[b2] = cplx(c * br + wr * ar - wi * ai,
+                           c * bi + wr * ai + wi * ar);
+        }
+    });
+}
+
+void
+applyPauli(cplx *amp, size_t dim, uint64_t x, uint64_t z)
+{
+    if (x == 0) {
+        parallelFor(0, dim, [=](size_t lo, size_t hi) {
+            for (size_t b = lo; b < hi; ++b)
+                if (std::popcount(z & b) & 1)
+                    amp[b] = -amp[b];
+        });
+        return;
+    }
+    const cplx eps = iPow(std::popcount(x & z));
+    const double sigma = paritySign(z, x);
+    const cplx epsSigma = eps * sigma;
+    const uint64_t pivot = x & (~x + 1);
+    parallelFor(0, dim / 2, [=](size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) {
+            const size_t b = expandBit(k, pivot);
+            const size_t b2 = b ^ x;
+            const double sb = paritySign(z, b);
+            const cplx a = amp[b], a2 = amp[b2];
+            amp[b] = (epsSigma * sb) * a2;
+            amp[b2] = (eps * sb) * a;
+        }
+    });
+}
+
+void
+accumulatePauli(const cplx *amp, size_t dim, uint64_t x, uint64_t z,
+                cplx w, cplx *out)
+{
+    // phase(b^x) = eps * sigma * (-1)^{|z & b|}; fold everything
+    // constant into the weight.
+    const cplx weps =
+        w * iPow(std::popcount(x & z)) * paritySign(z, x);
+    parallelFor(0, dim, [=](size_t lo, size_t hi) {
+        for (size_t b = lo; b < hi; ++b)
+            out[b] += (weps * paritySign(z, b)) * amp[b ^ x];
+    });
+}
+
+double
+expectation(const cplx *amp, size_t dim, uint64_t x, uint64_t z)
+{
+    if (x == 0) {
+        return parallelReduce(
+            0, dim, 0.0, [=](size_t lo, size_t hi) {
+                double s = 0.0;
+                for (size_t b = lo; b < hi; ++b)
+                    s += paritySign(z, b) * std::norm(amp[b]);
+                return s;
+            });
+    }
+    // Pair-compacted sweep. The (b, b^x) contributions combine to
+    //   s_b (conj(a) a2 + sigma conj(a2) a)
+    // which is twice the real part of conj(a) a2 when sigma = +1 and
+    // twice i times its imaginary part when sigma = -1 (sigma and
+    // i^{|x&z|} always conspire to make <P> real), so each pair is a
+    // single real dot product.
+    const int e = std::popcount(x & z) & 3;
+    const bool sigmaPos = (std::popcount(z & x) & 1) == 0;
+    const uint64_t pivot = x & (~x + 1);
+    double t;
+    if (sigmaPos) {
+        t = parallelReduce(0, dim / 2, 0.0, [=](size_t lo, size_t hi) {
+            double s = 0.0;
+            for (size_t k = lo; k < hi; ++k) {
+                const size_t b = expandBit(k, pivot);
+                const size_t b2 = b ^ x;
+                const double sb = paritySign(z, b);
+                s += sb * (amp[b].real() * amp[b2].real() +
+                           amp[b].imag() * amp[b2].imag());
+            }
+            return s;
+        });
+        return 2.0 * iPow(e).real() * t;
+    }
+    t = parallelReduce(0, dim / 2, 0.0, [=](size_t lo, size_t hi) {
+        double s = 0.0;
+        for (size_t k = lo; k < hi; ++k) {
+            const size_t b = expandBit(k, pivot);
+            const size_t b2 = b ^ x;
+            const double sb = paritySign(z, b);
+            s += sb * (amp[b].real() * amp[b2].imag() -
+                       amp[b].imag() * amp[b2].real());
+        }
+        return s;
+    });
+    // contribution = eps * (-2i) * t with eps = i^e.
+    return -2.0 * iPow(e + 1).real() * t;
+}
+
+double
+diagonalGroupExpectation(const cplx *amp, size_t dim, const double *w,
+                         const uint64_t *zmask, size_t n_terms)
+{
+    return parallelReduce(0, dim, 0.0, [=](size_t lo, size_t hi) {
+        double s = 0.0;
+        for (size_t b = lo; b < hi; ++b) {
+            const double p = std::norm(amp[b]);
+            for (size_t t = 0; t < n_terms; ++t)
+                s += w[t] * paritySign(zmask[t], b) * p;
+        }
+        return s;
+    });
+}
+
+void
+apply1qGeneric(cplx *amp, size_t dim, unsigned q, const cplx u[4])
+{
+    const uint64_t bit = 1ull << q;
+    for (size_t b = 0; b < dim; ++b) {
+        if (b & bit)
+            continue;
+        cplx a0 = amp[b];
+        cplx a1 = amp[b | bit];
+        amp[b] = u[0] * a0 + u[1] * a1;
+        amp[b | bit] = u[2] * a0 + u[3] * a1;
+    }
+}
+
+void
+applyPauliRotationGeneric(cplx *amp, size_t dim, uint64_t x, uint64_t z,
+                          double theta)
+{
+    const cplx c = std::cos(theta);
+    const cplx is = cplx(0, std::sin(theta));
+
+    if (x == 0) {
+        for (size_t b = 0; b < dim; ++b)
+            amp[b] *= c + is * pauliPhase(x, z, b);
+        return;
+    }
+    for (size_t b = 0; b < dim; ++b) {
+        const size_t b2 = b ^ x;
+        if (b2 < b)
+            continue;
+        cplx a = amp[b], a2 = amp[b2];
+        amp[b] = c * a + is * pauliPhase(x, z, b2) * a2;
+        amp[b2] = c * a2 + is * pauliPhase(x, z, b) * a;
+    }
+}
+
+double
+expectationGeneric(const cplx *amp, size_t dim, uint64_t x, uint64_t z)
+{
+    cplx s = 0.0;
+    for (size_t b = 0; b < dim; ++b)
+        s += std::conj(amp[b]) * pauliPhase(x, z, b ^ x) * amp[b ^ x];
+    return s.real();
+}
+
+} // namespace kern
+} // namespace qcc

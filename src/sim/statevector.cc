@@ -1,27 +1,12 @@
 #include "sim/statevector.hh"
 
-#include <bit>
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
+#include "sim/kernels.hh"
 
 namespace qcc {
-
-namespace {
-
-/**
- * Phase picked up when the canonical Pauli (x, z) maps |b> to |b ^ x>:
- * P|b> = i^{|x&z|} (-1)^{|z & b|} |b ^ x>.
- */
-inline cplx
-pauliPhase(uint64_t x, uint64_t z, uint64_t b)
-{
-    int e = std::popcount(x & z) + 2 * std::popcount(z & b);
-    static const cplx table[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
-    return table[e & 3];
-}
-
-} // namespace
 
 Statevector::Statevector(unsigned n) : Statevector(n, 0)
 {
@@ -38,44 +23,54 @@ Statevector::Statevector(unsigned n, uint64_t basis)
 }
 
 void
+Statevector::reset(uint64_t basis)
+{
+    if (basis >= amp.size())
+        panic("Statevector::reset: basis state out of range");
+    std::fill(amp.begin(), amp.end(), cplx(0, 0));
+    amp[basis] = 1.0;
+}
+
+void
 Statevector::apply1q(unsigned q, const cplx u[4])
 {
-    const uint64_t bit = 1ull << q;
-    const size_t n = amp.size();
-    for (size_t b = 0; b < n; ++b) {
-        if (b & bit)
-            continue;
-        cplx a0 = amp[b];
-        cplx a1 = amp[b | bit];
-        amp[b] = u[0] * a0 + u[1] * a1;
-        amp[b | bit] = u[2] * a0 + u[3] * a1;
-    }
+    kern::apply1q(amp.data(), amp.size(), q, u);
 }
 
 void
 Statevector::applyGate(const Gate &g)
 {
+    const size_t dim = amp.size();
     switch (g.kind) {
-      case GateKind::CNOT: {
-          const uint64_t cb = 1ull << g.q0, tb = 1ull << g.q1;
-          const size_t n = amp.size();
-          for (size_t b = 0; b < n; ++b)
-              if ((b & cb) && !(b & tb))
-                  std::swap(amp[b], amp[b | tb]);
+      case GateKind::X:
+        kern::applyX(amp.data(), dim, g.q0);
+        return;
+      case GateKind::Z:
+        kern::applyDiag1q(amp.data(), dim, g.q0, 1.0, -1.0);
+        return;
+      case GateKind::S:
+        kern::applyDiag1q(amp.data(), dim, g.q0, 1.0, cplx(0, 1));
+        return;
+      case GateKind::Sdg:
+        kern::applyDiag1q(amp.data(), dim, g.q0, 1.0, cplx(0, -1));
+        return;
+      case GateKind::RZ: {
+          const cplx i(0, 1);
+          kern::applyDiag1q(amp.data(), dim, g.q0,
+                            std::exp(-i * (g.angle / 2)),
+                            std::exp(i * (g.angle / 2)));
           return;
       }
-      case GateKind::SWAP: {
-          const uint64_t ab = 1ull << g.q0, bb = 1ull << g.q1;
-          const size_t n = amp.size();
-          for (size_t b = 0; b < n; ++b)
-              if ((b & ab) && !(b & bb))
-                  std::swap(amp[b ^ ab ^ bb], amp[b]);
-          return;
-      }
+      case GateKind::CNOT:
+        kern::applyCx(amp.data(), dim, g.q0, g.q1);
+        return;
+      case GateKind::SWAP:
+        kern::applySwap(amp.data(), dim, g.q0, g.q1);
+        return;
       default: {
           cplx u[4];
           gateMatrix(g.kind, g.angle, u);
-          apply1q(g.q0, u);
+          kern::apply1q(amp.data(), dim, g.q0, u);
           return;
       }
     }
@@ -95,27 +90,8 @@ Statevector::applyPauliRotation(double theta, const PauliString &p)
 {
     if (p.numQubits() != nQubits)
         panic("applyPauliRotation: width mismatch");
-    const uint64_t x = p.xMask(), z = p.zMask();
-    const cplx c = std::cos(theta);
-    const cplx is = cplx(0, std::sin(theta));
-    const size_t n = amp.size();
-
-    if (x == 0) {
-        // Diagonal string: pure per-amplitude phase.
-        for (size_t b = 0; b < n; ++b)
-            amp[b] *= c + is * pauliPhase(x, z, b);
-        return;
-    }
-    for (size_t b = 0; b < n; ++b) {
-        const size_t b2 = b ^ x;
-        if (b2 < b)
-            continue;
-        cplx a = amp[b], a2 = amp[b2];
-        // exp(i t P)|psi>[b] = cos(t) psi[b] + i sin(t) (P psi)[b]
-        // and (P psi)[b] = phase(b2) psi[b2] because P|b2> lands on b.
-        amp[b] = c * a + is * pauliPhase(x, z, b2) * a2;
-        amp[b2] = c * a2 + is * pauliPhase(x, z, b) * a;
-    }
+    kern::applyPauliRotation(amp.data(), amp.size(), p.xMask(),
+                             p.zMask(), theta);
 }
 
 void
@@ -123,21 +99,7 @@ Statevector::applyPauli(const PauliString &p)
 {
     if (p.numQubits() != nQubits)
         panic("applyPauli: width mismatch");
-    const uint64_t x = p.xMask(), z = p.zMask();
-    const size_t n = amp.size();
-    if (x == 0) {
-        for (size_t b = 0; b < n; ++b)
-            amp[b] *= pauliPhase(x, z, b);
-        return;
-    }
-    for (size_t b = 0; b < n; ++b) {
-        const size_t b2 = b ^ x;
-        if (b2 < b)
-            continue;
-        cplx a = amp[b], a2 = amp[b2];
-        amp[b] = pauliPhase(x, z, b2) * a2;
-        amp[b2] = pauliPhase(x, z, b) * a;
-    }
+    kern::applyPauli(amp.data(), amp.size(), p.xMask(), p.zMask());
 }
 
 void
@@ -146,21 +108,17 @@ Statevector::accumulatePauli(cplx w, const PauliString &p,
 {
     if (out.size() != amp.size())
         panic("accumulatePauli: dimension mismatch");
-    const uint64_t x = p.xMask(), z = p.zMask();
-    const size_t n = amp.size();
-    for (size_t b = 0; b < n; ++b)
-        out[b] += w * pauliPhase(x, z, b ^ x) * amp[b ^ x];
+    kern::accumulatePauli(amp.data(), amp.size(), p.xMask(), p.zMask(),
+                          w, out.data());
 }
 
 double
 Statevector::expectation(const PauliString &p) const
 {
-    const uint64_t x = p.xMask(), z = p.zMask();
-    const size_t n = amp.size();
-    cplx s = 0.0;
-    for (size_t b = 0; b < n; ++b)
-        s += std::conj(amp[b]) * pauliPhase(x, z, b ^ x) * amp[b ^ x];
-    return s.real();
+    if (p.numQubits() != nQubits)
+        panic("expectation: width mismatch");
+    return kern::expectation(amp.data(), amp.size(), p.xMask(),
+                             p.zMask());
 }
 
 double
@@ -168,13 +126,14 @@ Statevector::expectation(const PauliSum &h) const
 {
     if (h.numQubits() != nQubits)
         panic("expectation: width mismatch");
-    std::vector<cplx> hpsi(amp.size(), cplx(0, 0));
+    // One read-only kernel pass per term; unlike the historical
+    // H|psi>-accumulation this allocates no 2^n scratch vector.
+    double e = 0.0;
     for (const auto &t : h.terms())
-        accumulatePauli(t.coeff, t.string, hpsi);
-    cplx s = 0.0;
-    for (size_t b = 0; b < amp.size(); ++b)
-        s += std::conj(amp[b]) * hpsi[b];
-    return s.real();
+        e += t.coeff.real() *
+             kern::expectation(amp.data(), amp.size(),
+                               t.string.xMask(), t.string.zMask());
+    return e;
 }
 
 cplx
@@ -182,18 +141,27 @@ Statevector::inner(const Statevector &other) const
 {
     if (other.amp.size() != amp.size())
         panic("inner: dimension mismatch");
-    cplx s = 0.0;
-    for (size_t b = 0; b < amp.size(); ++b)
-        s += std::conj(amp[b]) * other.amp[b];
-    return s;
+    const cplx *a = amp.data(), *b = other.amp.data();
+    return parallelReduce(
+        0, amp.size(), cplx(0, 0), [=](size_t lo, size_t hi) {
+            cplx s = 0.0;
+            for (size_t i = lo; i < hi; ++i)
+                s += std::conj(a[i]) * b[i];
+            return s;
+        });
 }
 
 double
 Statevector::norm() const
 {
-    double s = 0.0;
-    for (const auto &a : amp)
-        s += std::norm(a);
+    const cplx *a = amp.data();
+    double s = parallelReduce(
+        0, amp.size(), 0.0, [=](size_t lo, size_t hi) {
+            double acc = 0.0;
+            for (size_t i = lo; i < hi; ++i)
+                acc += std::norm(a[i]);
+            return acc;
+        });
     return std::sqrt(s);
 }
 

@@ -4,7 +4,9 @@
  * circuits (used to verify the compiler) and direct O(2^n) kernels for
  * Pauli-string rotations exp(i theta P) and Pauli expectation values
  * (used by the VQE driver, mirroring the paper's use of the Aer
- * statevector simulator).
+ * statevector simulator). All sweeps dispatch to the specialized
+ * block-parallel bit-mask kernels in sim/kernels.hh; see
+ * sim/backend.hh for the backend interface the VQE layer consumes.
  */
 
 #ifndef QCC_SIM_STATEVECTOR_HH
@@ -32,6 +34,9 @@ class Statevector
 
     /** Computational basis state |basis>. */
     Statevector(unsigned n, uint64_t basis);
+
+    /** Reset to |basis> without reallocating. */
+    void reset(uint64_t basis = 0);
 
     unsigned numQubits() const { return nQubits; }
     size_t dim() const { return amp.size(); }
@@ -65,9 +70,10 @@ class Statevector
     double expectation(const PauliString &p) const;
 
     /**
-     * <psi| H |psi> for a Pauli sum. Computed as one accumulation of
-     * H|psi> followed by an inner product, so the cost is one state
-     * pass per term.
+     * <psi| H |psi> for a Pauli sum: one read-only kernel pass per
+     * term, with no per-call O(2^n) allocation. For grouped
+     * (one-pass-per-commuting-family) evaluation in the VQE hot loop
+     * see vqe/expectation_engine.hh.
      */
     double expectation(const PauliSum &h) const;
 

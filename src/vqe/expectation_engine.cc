@@ -1,0 +1,123 @@
+#include "vqe/expectation_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/kernels.hh"
+
+namespace qcc {
+
+namespace {
+
+/** H for X-basis qubits; the fused H * Sdg for Y-basis qubits. Both
+ *  conjugate the basis operator to Z exactly (no residual sign). */
+void
+basisChangeMatrix(PauliOp op, kern::cplx u[4])
+{
+    const double r = 1.0 / std::sqrt(2.0);
+    if (op == PauliOp::X) {
+        u[0] = r; u[1] = r; u[2] = r; u[3] = -r;
+    } else {
+        u[0] = r; u[1] = kern::cplx(0, -r);
+        u[2] = r; u[3] = kern::cplx(0, r);
+    }
+}
+
+} // namespace
+
+ExpectationEngine::ExpectationEngine(const PauliSum &h)
+    : ham(h), nQubits(h.numQubits())
+{
+    if (h.maxImagCoeff() > 1e-9)
+        warn("ExpectationEngine: dropping imaginary coefficient "
+             "parts (Hamiltonian should be Hermitian)");
+
+    // All diagonal terms (identity included) share one direct sweep:
+    // they commute qubit-wise with each other and need no rotation.
+    GroupPlan diag;
+    PauliSum offDiag(nQubits);
+    for (const auto &t : h.terms()) {
+        if (t.string.xMask() == 0) {
+            diag.weights.push_back(t.coeff.real());
+            diag.zMasks.push_back(t.string.zMask());
+        } else {
+            offDiag.add(t.coeff, t.string);
+        }
+    }
+    if (!diag.weights.empty())
+        plans.push_back(std::move(diag));
+
+    for (const auto &group : groupQubitWise(offDiag)) {
+        GroupPlan plan;
+        plan.rotations = basisChangeOps(group.basis);
+        // A rotated family sweep costs one state copy plus one
+        // apply1q pass per rotated qubit before it starts paying
+        // off; families too small to amortize that are cheaper
+        // through the pair-compacted per-term kernel.
+        const bool sweep = group.termIndices.size() >=
+                           2 * (plan.rotations.size() + 2);
+        for (size_t idx : group.termIndices) {
+            const PauliTerm &t = offDiag.terms()[idx];
+            if (sweep) {
+                plan.weights.push_back(t.coeff.real());
+                // After the basis rotations every member is Z on
+                // exactly its own support.
+                plan.zMasks.push_back(t.string.supportMask());
+            } else {
+                termwise.push_back({t.coeff.real(), t.string.xMask(),
+                                    t.string.zMask()});
+            }
+        }
+        if (!plan.weights.empty())
+            plans.push_back(std::move(plan));
+    }
+}
+
+size_t
+ExpectationEngine::numGroups() const
+{
+    return plans.size() + termwise.size();
+}
+
+double
+ExpectationEngine::energy(const Statevector &psi) const
+{
+    if (psi.numQubits() != nQubits)
+        panic("ExpectationEngine::energy: width mismatch");
+    const auto &amp = psi.amplitudes();
+    const size_t dim = amp.size();
+
+    double e = 0.0;
+    for (const auto &plan : plans) {
+        const cplx *state = amp.data();
+        if (!plan.rotations.empty()) {
+            // Rotate a scratch copy into the family's shared
+            // eigenbasis (buffer reused across calls and groups).
+            scratch.resize(dim);
+            std::copy(amp.begin(), amp.end(), scratch.begin());
+            for (const auto &[q, op] : plan.rotations) {
+                kern::cplx u[4];
+                basisChangeMatrix(op, u);
+                kern::apply1q(scratch.data(), dim, q, u);
+            }
+            state = scratch.data();
+        }
+        e += kern::diagonalGroupExpectation(
+            state, dim, plan.weights.data(), plan.zMasks.data(),
+            plan.zMasks.size());
+    }
+    for (const auto &t : termwise)
+        e += t.weight * kern::expectation(amp.data(), dim, t.x, t.z);
+    return e;
+}
+
+double
+ExpectationEngine::energy(const SimBackend &backend) const
+{
+    if (const Statevector *sv = backend.statevector())
+        return energy(*sv);
+    return backend.expectation(ham);
+}
+
+} // namespace qcc

@@ -1,8 +1,9 @@
 #include "vqe/vqe.hh"
 
+#include <optional>
+
 #include "common/logging.hh"
-#include "compiler/chain_synthesis.hh"
-#include "sim/density_matrix.hh"
+#include "vqe/expectation_engine.hh"
 
 namespace qcc {
 
@@ -19,10 +20,23 @@ prepareAnsatzState(const Ansatz &ansatz,
 }
 
 double
+ansatzEnergy(SimBackend &backend, const PauliSum &h,
+             const Ansatz &ansatz, const std::vector<double> &params)
+{
+    if (h.numQubits() != ansatz.nQubits)
+        fatal("ansatzEnergy: Hamiltonian/ansatz width mismatch");
+    // One-shot evaluation: compiling a grouped engine would cost more
+    // than it saves; runVqe amortizes one over the whole optimization.
+    backend.applyAnsatz(ansatz, params);
+    return backend.expectation(h);
+}
+
+double
 ansatzEnergy(const PauliSum &h, const Ansatz &ansatz,
              const std::vector<double> &params)
 {
-    return prepareAnsatzState(ansatz, params).expectation(h);
+    StatevectorBackend backend(ansatz.nQubits);
+    return ansatzEnergy(backend, h, ansatz, params);
 }
 
 double
@@ -30,10 +44,8 @@ ansatzEnergyNoisy(const PauliSum &h, const Ansatz &ansatz,
                   const std::vector<double> &params,
                   const NoiseModel &noise)
 {
-    Circuit c = synthesizeChainCircuit(ansatz, params, true);
-    DensityMatrix rho(ansatz.nQubits);
-    rho.applyCircuit(c, noise);
-    return rho.expectation(h);
+    DensityMatrixBackend backend(ansatz.nQubits, noise);
+    return ansatzEnergy(backend, h, ansatz, params);
 }
 
 namespace {
@@ -82,14 +94,36 @@ minimize(const ObjectiveFn &energy, unsigned n_params,
 } // namespace
 
 VqeResult
+runVqe(SimBackend &backend, const PauliSum &h, const Ansatz &ansatz,
+       const VqeOptions &opts)
+{
+    if (h.numQubits() != ansatz.nQubits)
+        fatal("runVqe: Hamiltonian/ansatz width mismatch");
+    if (backend.numQubits() != ansatz.nQubits)
+        fatal("runVqe: backend/ansatz width mismatch");
+    // For pure-state backends, compile the grouped evaluator once and
+    // amortize it over the whole optimization; mixed-state backends
+    // have no per-family sweep, so their own expectation is used
+    // directly. Either way each energy evaluation re-prepares the
+    // backend in place (no per-call state allocation).
+    std::optional<ExpectationEngine> engine;
+    if (backend.statevector())
+        engine.emplace(h);
+    auto energy = [&](const std::vector<double> &x) {
+        backend.applyAnsatz(ansatz, x);
+        return engine ? engine->energy(backend)
+                      : backend.expectation(h);
+    };
+    return minimize(energy, ansatz.nParams, opts);
+}
+
+VqeResult
 runVqe(const PauliSum &h, const Ansatz &ansatz, const VqeOptions &opts)
 {
     if (h.numQubits() != ansatz.nQubits)
         fatal("runVqe: Hamiltonian/ansatz width mismatch");
-    auto energy = [&](const std::vector<double> &x) {
-        return ansatzEnergy(h, ansatz, x);
-    };
-    return minimize(energy, ansatz.nParams, opts);
+    StatevectorBackend backend(ansatz.nQubits);
+    return runVqe(backend, h, ansatz, opts);
 }
 
 VqeResult
@@ -98,13 +132,11 @@ runVqeNoisy(const PauliSum &h, const Ansatz &ansatz,
 {
     if (h.numQubits() != ansatz.nQubits)
         fatal("runVqeNoisy: Hamiltonian/ansatz width mismatch");
-    auto energy = [&](const std::vector<double> &x) {
-        return ansatzEnergyNoisy(h, ansatz, x, noise);
-    };
+    DensityMatrixBackend backend(ansatz.nQubits, noise);
     VqeOptions o = opts;
     if (o.optimizer == VqeOptions::Optimizer::Lbfgs)
         o.optimizer = VqeOptions::Optimizer::Spsa;
-    return minimize(energy, ansatz.nParams, o);
+    return runVqe(backend, h, ansatz, o);
 }
 
 } // namespace qcc

@@ -1,11 +1,13 @@
 /**
  * @file
  * VQE driver (Section II-B). The inner loop evaluates
- * E(theta) = sum_i w_i <psi(theta)| P_i |psi(theta)> with the
- * statevector simulator's direct Pauli-rotation kernels; the outer
- * loop minimizes E with a classical optimizer, and its iteration
- * count is the paper's convergence-speed metric. A density-matrix
- * path reproduces the noisy case studies of Section VI-D.
+ * E(theta) = sum_i w_i <psi(theta)| P_i |psi(theta)> through the
+ * pluggable SimBackend interface: the ideal statevector backend
+ * replays the ansatz with direct Pauli-rotation kernels and evaluates
+ * <H> with the grouped ExpectationEngine, while the density-matrix
+ * backend reproduces the noisy case studies of Section VI-D. The
+ * outer loop minimizes E with a classical optimizer, and its
+ * iteration count is the paper's convergence-speed metric.
  */
 
 #ifndef QCC_VQE_VQE_HH
@@ -16,6 +18,7 @@
 #include "ansatz/uccsd.hh"
 #include "common/optimize.hh"
 #include "pauli/pauli_sum.hh"
+#include "sim/backend.hh"
 #include "sim/noise_model.hh"
 #include "sim/statevector.hh"
 
@@ -48,18 +51,35 @@ struct VqeResult
 Statevector prepareAnsatzState(const Ansatz &ansatz,
                                const std::vector<double> &params);
 
-/** Noise-free energy of the ansatz state. */
+/**
+ * E(theta) in an arbitrary backend: applyAnsatz then the grouped
+ * engine's energy (statevector backends) or the backend's own
+ * expectation (mixed-state backends).
+ */
+double ansatzEnergy(SimBackend &backend, const PauliSum &h,
+                    const Ansatz &ansatz,
+                    const std::vector<double> &params);
+
+/** Noise-free energy of the ansatz state (statevector backend). */
 double ansatzEnergy(const PauliSum &h, const Ansatz &ansatz,
                     const std::vector<double> &params);
 
 /**
  * Noisy energy: the ansatz is chain-synthesized to a gate circuit and
- * executed on the density-matrix simulator with depolarizing noise
+ * executed on the density-matrix backend with depolarizing noise
  * after every CNOT.
  */
 double ansatzEnergyNoisy(const PauliSum &h, const Ansatz &ansatz,
                          const std::vector<double> &params,
                          const NoiseModel &noise);
+
+/**
+ * Minimize the VQE energy from a zero start against any backend. The
+ * backend is reused (re-prepared) across every energy evaluation, so
+ * no per-iteration state allocation occurs.
+ */
+VqeResult runVqe(SimBackend &backend, const PauliSum &h,
+                 const Ansatz &ansatz, const VqeOptions &opts = {});
 
 /** Minimize the noise-free VQE energy from a zero start. */
 VqeResult runVqe(const PauliSum &h, const Ansatz &ansatz,
