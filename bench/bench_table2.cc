@@ -17,10 +17,7 @@
 #include "arch/grid.hh"
 #include "bench_util.hh"
 #include "chem/molecules.hh"
-#include "compiler/chain_synthesis.hh"
-#include "compiler/merge_to_root.hh"
-#include "compiler/sabre.hh"
-#include "compiler/verify.hh"
+#include "compiler/pipeline.hh"
 #include "ferm/hamiltonian.hh"
 
 using namespace qcc;
@@ -49,6 +46,18 @@ main()
     XTree tree = makeXTree(17);
     CouplingGraph grid = makeGrid17Q();
 
+    // All three flows run through the pass-manager pipeline; the MtR
+    // flow's verify pass enforces the coupling constraint (a
+    // violation aborts with the offending pass and gate index).
+    PipelineOptions chainOpts;
+    chainOpts.flow = PipelineOptions::Flow::ChainOnly;
+    CompilerPipeline chainPipe(chainOpts);
+    CompilerPipeline mtrPipe(tree, PipelineOptions{});
+    PipelineOptions sabOpts;
+    sabOpts.flow = PipelineOptions::Flow::Sabre;
+    CompilerPipeline sabTreePipe(tree, sabOpts);
+    CompilerPipeline sabGridPipe(grid, sabOpts);
+
     std::vector<Row> rows;
     double sumMtr = 0, sumSabTree = 0, sumOrig = 0, sumSabGrid = 0;
 
@@ -66,27 +75,22 @@ main()
                 compressAnsatz(full, prob.hamiltonian, ratio);
             std::vector<double> zeros(comp.ansatz.nParams, 0.0);
 
-            Circuit chain =
-                synthesizeChainCircuit(comp.ansatz, zeros, true);
-            row.original.push_back(chain.cnotCount());
+            CompileResult chain =
+                chainPipe.compile(comp.ansatz, zeros);
+            row.original.push_back(chain.circuit.cnotCount());
 
-            MtrResult mtr =
-                mergeToRootCompile(comp.ansatz, zeros, tree);
-            if (!respectsCoupling(mtr.circuit, tree.graph))
-                panic("bench_table2: invalid MtR output");
+            CompileResult mtr = mtrPipe.compile(comp.ansatz, zeros);
             row.mtr.push_back(mtr.overheadCnots());
 
-            SabreResult st = sabreCompile(
-                chain, tree.graph,
-                Layout::identity(chain.numQubits(), 17));
+            CompileResult st =
+                sabTreePipe.compile(comp.ansatz, zeros);
             row.sabTree.push_back(st.overheadCnots());
 
-            SabreResult sg = sabreCompile(
-                chain, grid,
-                Layout::identity(chain.numQubits(), 17));
+            CompileResult sg =
+                sabGridPipe.compile(comp.ansatz, zeros);
             row.sabGrid.push_back(sg.overheadCnots());
 
-            sumOrig += double(chain.cnotCount());
+            sumOrig += double(chain.circuit.cnotCount());
             sumMtr += double(mtr.overheadCnots());
             sumSabTree += double(st.overheadCnots());
             sumSabGrid += double(sg.overheadCnots());

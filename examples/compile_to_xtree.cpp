@@ -1,11 +1,13 @@
 /**
  * @file
- * Compiler walkthrough: take the NH3 UCCSD program at several
- * compression ratios, place it with the hierarchical initial layout
- * and compile with Merge-to-Root onto XTree17Q, and compare the
- * mapping overhead against chain-synthesis + SABRE on the same tree
- * and on the Grid17Q baseline — a single-molecule slice of the
- * paper's Table II, with the compiled circuit exported to OpenQASM.
+ * Compiler-pipeline walkthrough: take the NH3 UCCSD program at
+ * several compression ratios and compile it through three
+ * `CompilerPipeline` flows — hierarchical layout + Merge-to-Root on
+ * XTree17Q, chain synthesis + SABRE on the same tree, and SABRE on
+ * the Grid17Q baseline — a single-molecule slice of the paper's
+ * Table II. The per-pass PipelineReport of one compile is printed,
+ * the circuit cache is demonstrated by recompiling with fresh
+ * parameters, and the compiled circuit is exported to OpenQASM.
  */
 
 #include <cstdio>
@@ -16,10 +18,7 @@
 #include "arch/grid.hh"
 #include "chem/molecules.hh"
 #include "common/logging.hh"
-#include "compiler/chain_synthesis.hh"
-#include "compiler/merge_to_root.hh"
-#include "compiler/sabre.hh"
-#include "compiler/verify.hh"
+#include "compiler/pipeline.hh"
 #include "ferm/hamiltonian.hh"
 
 int
@@ -39,6 +38,23 @@ main()
     XTree tree = makeXTree(17);
     CouplingGraph grid = makeGrid17Q();
 
+    // One pipeline per flow; every compile below routes through a
+    // PassManager that times each pass and re-checks the coupling
+    // invariant after every mutating stage.
+    PipelineOptions chainOpts;
+    chainOpts.flow = PipelineOptions::Flow::ChainOnly;
+    CompilerPipeline chainPipe(chainOpts);
+    CompilerPipeline mtrPipe(tree, PipelineOptions{});
+    PipelineOptions sabOpts;
+    sabOpts.flow = PipelineOptions::Flow::Sabre;
+    CompilerPipeline sabTreePipe(tree, sabOpts);
+    CompilerPipeline sabGridPipe(grid, sabOpts);
+
+    std::printf("pipeline passes:");
+    for (const std::string &name : mtrPipe.passNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\n\n");
+
     std::printf("%-7s %10s %12s %14s %14s\n", "ratio", "CNOTs",
                 "MtR ovh", "SAB/XTree ovh", "SAB/Grid ovh");
     for (double ratio : {0.1, 0.3, 0.5}) {
@@ -46,29 +62,38 @@ main()
             compressAnsatz(full, prob.hamiltonian, ratio);
         std::vector<double> zeros(comp.ansatz.nParams, 0.0);
 
-        Circuit chain =
-            synthesizeChainCircuit(comp.ansatz, zeros, true);
-        MtrResult mtr = mergeToRootCompile(comp.ansatz, zeros, tree);
-        SabreResult st = sabreCompile(
-            chain, tree.graph,
-            Layout::identity(chain.numQubits(), 17));
-        SabreResult sg = sabreCompile(
-            chain, grid, Layout::identity(chain.numQubits(), 17));
-
-        if (!respectsCoupling(mtr.circuit, tree.graph))
-            fatal("compiled circuit violates coupling");
+        CompileResult chain = chainPipe.compile(comp.ansatz, zeros);
+        CompileResult mtr = mtrPipe.compile(comp.ansatz, zeros);
+        CompileResult st = sabTreePipe.compile(comp.ansatz, zeros);
+        CompileResult sg = sabGridPipe.compile(comp.ansatz, zeros);
 
         std::printf("%-6.0f%% %10zu %12zu %14zu %14zu\n",
-                    100 * ratio, chain.cnotCount(),
+                    100 * ratio, chain.circuit.cnotCount(),
                     mtr.overheadCnots(), st.overheadCnots(),
                     sg.overheadCnots());
     }
 
-    // Export the 10% program as OpenQASM for external toolchains.
+    // Per-pass accounting for the 10% program (through an uncached
+    // pipeline so the full pass sequence actually runs), then a
+    // cached recompile with fresh parameters to show the cache
+    // rebinding angles instead of re-running layout + routing.
     CompressedAnsatz comp =
         compressAnsatz(full, prob.hamiltonian, 0.1);
     std::vector<double> zeros(comp.ansatz.nParams, 0.0);
-    MtrResult mtr = mergeToRootCompile(comp.ansatz, zeros, tree);
+    PipelineOptions reportOpts;
+    reportOpts.useCache = false;
+    CompilerPipeline reportPipe(tree, reportOpts);
+    CompileResult mtr = reportPipe.compile(comp.ansatz, zeros);
+    std::printf("\nPipelineReport for NH3@10%% (MtR flow):\n%s",
+                mtr.report.str().c_str());
+
+    std::vector<double> bumped(comp.ansatz.nParams, 0.05);
+    CompileResult again = mtrPipe.compile(comp.ansatz, bumped);
+    std::printf("\nrecompile with new parameters: %.3f ms%s\n",
+                again.report.totalMillis,
+                again.report.cacheHit ? "  [cache hit]" : "");
+
+    // Export the 10% program as OpenQASM for external toolchains.
     std::ofstream out("nh3_xtree17q.qasm");
     out << mtr.circuit.toQasm();
     std::printf("\nwrote nh3_xtree17q.qasm (%zu gates, depth %zu)\n",

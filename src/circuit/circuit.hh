@@ -24,6 +24,14 @@ class Circuit
 
     unsigned numQubits() const { return nQubits; }
     const std::vector<Gate> &gates() const { return gateList; }
+
+    /**
+     * Mutable gate access for in-place rewrites (the compile cache
+     * rebinds RZ angles on memoized circuits). Kinds and operands of
+     * existing gates were validated by push; callers must keep any
+     * edits within the same invariants.
+     */
+    std::vector<Gate> &gates() { return gateList; }
     size_t size() const { return gateList.size(); }
 
     /** @{ Gate-append helpers. */

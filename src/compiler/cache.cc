@@ -1,0 +1,112 @@
+#include "compiler/cache.hh"
+
+#include <cstdlib>
+
+namespace qcc {
+
+uint64_t
+CacheKey::hash() const
+{
+    // splitmix64-style word mix; collisions are harmless (the full
+    // word stream is compared on probe) so speed wins over strength.
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint64_t w : words) {
+        h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+    }
+    return h;
+}
+
+bool
+CircuitCache::lookup(const CacheKey &key,
+                     const std::vector<double> &angles,
+                     CachedCompile &out)
+{
+    std::shared_ptr<const CachedCompile> found;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = table.find(key.hash());
+        if (it != table.end())
+            for (const auto &[k, v] : it->second)
+                if (k == key) {
+                    found = v;
+                    break;
+                }
+        if (!found || found->rzIndex.size() != angles.size()) {
+            ++counters.misses;
+            return false;
+        }
+        ++counters.hits;
+        if (!found->rzIndex.empty())
+            ++counters.rebinds;
+    }
+
+    // Copy and rebind outside the lock: rewrite each memoized RZ
+    // with the caller's angles.
+    out = *found;
+    auto &gates = out.circuit.gates();
+    for (size_t k = 0; k < out.rzIndex.size(); ++k)
+        gates[out.rzIndex[k]].angle = angles[k];
+    return true;
+}
+
+void
+CircuitCache::insert(const CacheKey &key, CachedCompile entry)
+{
+    auto sp = std::make_shared<const CachedCompile>(std::move(entry));
+    std::lock_guard<std::mutex> lock(mtx);
+    if (counters.entries >= cap) {
+        table.clear();
+        counters.evictions += counters.entries;
+        counters.entries = 0;
+    }
+    auto &bucket = table[key.hash()];
+    for (const auto &[k, v] : bucket)
+        if (k == key)
+            return;
+    bucket.emplace_back(key, std::move(sp));
+    ++counters.entries;
+}
+
+void
+CircuitCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    counters.evictions += counters.entries;
+    counters.entries = 0;
+    table.clear();
+}
+
+CacheStats
+CircuitCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return counters;
+}
+
+CircuitCache &
+globalCircuitCache()
+{
+    static CircuitCache cache([] {
+        if (const char *env = std::getenv("QCC_COMPILE_CACHE_CAP")) {
+            long v = std::strtol(env, nullptr, 10);
+            if (v > 0)
+                return size_t(v);
+        }
+        return size_t{8192};
+    }());
+    return cache;
+}
+
+bool
+circuitCacheEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("QCC_COMPILE_CACHE");
+        return !(env && std::string(env) == "0");
+    }();
+    return enabled;
+}
+
+} // namespace qcc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Content-hash keyed circuit cache for the compiler pipeline. The
+ * synthesis flows (chain and Merge-to-Root) produce a gate structure
+ * that depends only on the Pauli strings, the device, and the pass
+ * configuration — the rotation angles enter through exactly one RZ
+ * per non-identity string. The cache therefore memoizes the compiled
+ * structure under a fingerprint of the angle-independent inputs and
+ * rebinds the RZ angles on every hit, so repeated compilation of the
+ * same program across VQE iterations (new parameters each energy
+ * evaluation) and ablation sweeps skips layout and routing entirely.
+ *
+ * Flows whose gate order may depend on parameter values (SABRE) are
+ * not cached: they cannot be angle-rebound, and exact-key entries
+ * would only hit on exact parameter repeats while flooding the
+ * shared table under parameter sweeps.
+ *
+ * Disabled globally with QCC_COMPILE_CACHE=0.
+ */
+
+#ifndef QCC_COMPILER_CACHE_HH
+#define QCC_COMPILER_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "compiler/layout.hh"
+
+namespace qcc {
+
+/**
+ * Fingerprint of a compile request: a word stream hashed for the
+ * bucket and compared in full on probe, so a 64-bit collision can
+ * never alias two different programs.
+ */
+struct CacheKey
+{
+    std::vector<uint64_t> words;
+
+    void add(uint64_t w) { words.push_back(w); }
+    uint64_t hash() const;
+    bool operator==(const CacheKey &o) const = default;
+};
+
+/** One memoized compile. */
+struct CachedCompile
+{
+    Circuit circuit; ///< compiled structure (angles from first compile)
+    /**
+     * Gate index of the RZ carrying the k-th non-identity rotation;
+     * a hit rewrites these against the caller's resolved angles, so
+     * entries are shared across parameter bindings (and coefficient
+     * values).
+     */
+    std::vector<size_t> rzIndex;
+    Layout initialLayout;
+    Layout finalLayout;
+    size_t swapCount = 0;
+};
+
+/** Hit/miss counters (monotonic over the cache lifetime). */
+struct CacheStats
+{
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t rebinds = 0;  ///< hits that rewrote at least one angle
+    size_t entries = 0;  ///< current resident entries
+    size_t evictions = 0;
+};
+
+/**
+ * Thread-safe memo table. Lookups copy the entry out under the lock;
+ * rebinding happens on the caller's copy. When the table exceeds its
+ * capacity it is cleared wholesale — the working sets here are a few
+ * programs, so anything fancier is wasted machinery.
+ */
+class CircuitCache
+{
+  public:
+    explicit CircuitCache(size_t capacity = 8192) : cap(capacity) {}
+
+    /**
+     * Probe for `key`; on a hit, copy the entry into `out`, rewrite
+     * the k-th memoized RZ with `angles[k]`, and return true. A hit
+     * whose slot count disagrees with `angles` is treated as a miss
+     * (the key fingerprints the strings, so this cannot happen
+     * unless a caller mixes keys and programs). The copy and rebind
+     * run outside the table lock.
+     */
+    bool lookup(const CacheKey &key, const std::vector<double> &angles,
+                CachedCompile &out);
+
+    /** Memoize a compile (no-op if an equal key is already present). */
+    void insert(const CacheKey &key, CachedCompile entry);
+
+    /** Drop every entry (stats other than `entries` persist). */
+    void clear();
+
+    CacheStats stats() const;
+
+  private:
+    // Entries are immutable once inserted and held by shared_ptr, so
+    // the lock covers only the probe/bookkeeping: the O(gates)
+    // circuit copy and rebind happen on the caller's thread outside
+    // the critical section (compileTerms fans many threads through
+    // here).
+    mutable std::mutex mtx;
+    size_t cap;
+    std::unordered_map<
+        uint64_t,
+        std::vector<std::pair<CacheKey,
+                              std::shared_ptr<const CachedCompile>>>>
+        table;
+    CacheStats counters;
+};
+
+/**
+ * Process-wide cache shared by the pipeline convenience paths.
+ * Capacity defaults to 8192 entries (a whole-Hamiltonian per-term
+ * sweep of the largest catalog molecule fits with room to spare) and
+ * can be overridden with QCC_COMPILE_CACHE_CAP.
+ */
+CircuitCache &globalCircuitCache();
+
+/** False when QCC_COMPILE_CACHE=0 disables memoization. */
+bool circuitCacheEnabled();
+
+} // namespace qcc
+
+#endif // QCC_COMPILER_CACHE_HH

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace qcc {
 
@@ -67,6 +68,40 @@ synthesizeChainCircuit(const Ansatz &ansatz,
         double theta = params[r.param] * r.coeff;
         c.append(pauliRotationChain(r.string, theta, ansatz.nQubits));
     }
+    return c;
+}
+
+Circuit
+synthesizeChainCircuitParallel(const Ansatz &ansatz,
+                               const std::vector<double> &params,
+                               bool include_hf_prep)
+{
+    if (params.size() != ansatz.nParams)
+        fatal("synthesizeChainCircuitParallel: parameter count "
+              "mismatch");
+
+    const size_t n = ansatz.rotations.size();
+    std::vector<Circuit> parts(n);
+    parallelFor(
+        0, n,
+        [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+                const auto &r = ansatz.rotations[i];
+                parts[i] = pauliRotationChain(
+                    r.string, params[r.param] * r.coeff,
+                    ansatz.nQubits);
+            }
+        },
+        /*grain=*/8);
+
+    Circuit c(ansatz.nQubits);
+    if (include_hf_prep) {
+        for (unsigned q = 0; q < ansatz.nQubits; ++q)
+            if ((ansatz.hfMask >> q) & 1)
+                c.x(q);
+    }
+    for (const Circuit &part : parts)
+        c.append(part);
     return c;
 }
 

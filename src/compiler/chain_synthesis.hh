@@ -36,6 +36,18 @@ Circuit synthesizeChainCircuit(const Ansatz &ansatz,
                                const std::vector<double> &params,
                                bool include_hf_prep = true);
 
+/**
+ * Bit-identical to synthesizeChainCircuit, but the per-term
+ * subcircuits are synthesized concurrently on the common/parallel
+ * thread pool and stitched in program order (each term's plan is
+ * independent of every other's, so only the final concatenation is
+ * ordered). Worth it from a few hundred strings up; QCC_THREADS=1
+ * makes it exactly the serial path.
+ */
+Circuit synthesizeChainCircuitParallel(const Ansatz &ansatz,
+                                       const std::vector<double> &params,
+                                       bool include_hf_prep = true);
+
 /** CNOT count of the chain plan without materializing the circuit. */
 size_t chainCnotCount(const Ansatz &ansatz);
 

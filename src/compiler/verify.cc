@@ -1,6 +1,8 @@
 #include "compiler/verify.hh"
 
 #include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -8,13 +10,27 @@
 
 namespace qcc {
 
+std::optional<VerifyIssue>
+findCouplingViolation(const Circuit &c, const CouplingGraph &g)
+{
+    const auto &gates = c.gates();
+    for (size_t i = 0; i < gates.size(); ++i) {
+        const Gate &gate = gates[i];
+        if (isTwoQubit(gate.kind) && !g.hasEdge(gate.q0, gate.q1))
+            return VerifyIssue{
+                "gate " + std::to_string(i) + " (" + gate.str() +
+                    ") acts on uncoupled qubits " +
+                    std::to_string(gate.q0) + "," +
+                    std::to_string(gate.q1),
+                long(i)};
+    }
+    return std::nullopt;
+}
+
 bool
 respectsCoupling(const Circuit &c, const CouplingGraph &g)
 {
-    for (const auto &gate : c.gates())
-        if (isTwoQubit(gate.kind) && !g.hasEdge(gate.q0, gate.q1))
-            return false;
-    return true;
+    return !findCouplingViolation(c, g).has_value();
 }
 
 namespace {
@@ -43,32 +59,33 @@ embed(const Statevector &logical, const Layout &layout,
     return out;
 }
 
-bool
-statesMatch(const Statevector &a, const Statevector &b, double tol)
+/** Largest amplitude difference, or infinity on dimension mismatch. */
+double
+stateMaxDiff(const Statevector &a, const Statevector &b)
 {
     if (a.dim() != b.dim())
-        return false;
+        return std::numeric_limits<double>::infinity();
     double maxDiff = 0.0;
     for (size_t i = 0; i < a.dim(); ++i)
         maxDiff = std::max(maxDiff,
                            std::abs(a.amplitudes()[i] -
                                     b.amplitudes()[i]));
-    return maxDiff <= tol;
+    return maxDiff;
 }
 
 } // namespace
 
-bool
-checkCompiledEquivalence(const Circuit &compiled, const Circuit &logical,
-                         const Layout &initial,
-                         const Layout &final_layout, int trials,
-                         double tol, uint64_t seed)
+std::optional<VerifyIssue>
+findEquivalenceFailure(const Circuit &compiled, const Circuit &logical,
+                       const Layout &initial,
+                       const Layout &final_layout, int trials,
+                       double tol, uint64_t seed)
 {
     const unsigned nl = logical.numQubits();
     const unsigned np = compiled.numQubits();
     Rng rng(seed);
 
-    auto checkState = [&](Statevector psi) {
+    auto stateDiff = [&](Statevector psi) {
         psi.normalize();
         // Left side: run the compiled circuit from the embedded state.
         Statevector lhs = embed(psi, initial, np);
@@ -77,24 +94,47 @@ checkCompiledEquivalence(const Circuit &compiled, const Circuit &logical,
         Statevector logicalOut = psi;
         logicalOut.applyCircuit(logical);
         Statevector rhs = embed(logicalOut, final_layout, np);
-        return statesMatch(lhs, rhs, tol);
+        return stateMaxDiff(lhs, rhs);
+    };
+
+    auto issue = [&](const std::string &which, double diff) {
+        std::ostringstream oss;
+        oss << "compiled/logical mismatch on " << which
+            << ": max amplitude difference " << diff
+            << " exceeds tolerance " << tol;
+        return VerifyIssue{oss.str(), -1};
     };
 
     if (trials == 0 && nl <= 6) {
-        for (uint64_t b = 0; b < (uint64_t{1} << nl); ++b)
-            if (!checkState(Statevector(nl, b)))
-                return false;
-        return true;
+        for (uint64_t b = 0; b < (uint64_t{1} << nl); ++b) {
+            double diff = stateDiff(Statevector(nl, b));
+            if (!(diff <= tol))
+                return issue("basis state " + std::to_string(b),
+                             diff);
+        }
+        return std::nullopt;
     }
 
     for (int t = 0; t < std::max(trials, 1); ++t) {
         Statevector psi(nl);
         for (auto &amp : psi.amplitudes())
             amp = cplx(rng.gaussian(), rng.gaussian());
-        if (!checkState(std::move(psi)))
-            return false;
+        double diff = stateDiff(std::move(psi));
+        if (!(diff <= tol))
+            return issue("random trial " + std::to_string(t), diff);
     }
-    return true;
+    return std::nullopt;
+}
+
+bool
+checkCompiledEquivalence(const Circuit &compiled, const Circuit &logical,
+                         const Layout &initial,
+                         const Layout &final_layout, int trials,
+                         double tol, uint64_t seed)
+{
+    return !findEquivalenceFailure(compiled, logical, initial,
+                                   final_layout, trials, tol, seed)
+                .has_value();
 }
 
 } // namespace qcc

@@ -12,12 +12,34 @@
 #define QCC_COMPILER_VERIFY_HH
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "arch/coupling_graph.hh"
 #include "circuit/circuit.hh"
 #include "compiler/layout.hh"
 
 namespace qcc {
+
+/**
+ * A concrete verification failure: a human-readable description plus
+ * the offending gate index when the problem is gate-specific (-1
+ * otherwise). The pass-manager pipeline wraps these into
+ * CompileError with the detecting pass's name, so a failed compile
+ * reports *which pass broke which gate* instead of a bare bool.
+ */
+struct VerifyIssue
+{
+    std::string what;
+    long gateIndex = -1;
+};
+
+/**
+ * First coupling violation in `c` against `g`, or nullopt when every
+ * two-qubit gate acts on a coupled pair.
+ */
+std::optional<VerifyIssue>
+findCouplingViolation(const Circuit &c, const CouplingGraph &g);
 
 /** True if every two-qubit gate acts on a coupled pair. */
 bool respectsCoupling(const Circuit &c, const CouplingGraph &g);
@@ -33,6 +55,17 @@ bool checkCompiledEquivalence(const Circuit &compiled,
                               const Layout &final_layout,
                               int trials = 4, double tol = 1e-9,
                               uint64_t seed = 99);
+
+/**
+ * Diagnostic variant of checkCompiledEquivalence: nullopt on
+ * success, otherwise which trial (or basis state) diverged and by
+ * how much.
+ */
+std::optional<VerifyIssue>
+findEquivalenceFailure(const Circuit &compiled, const Circuit &logical,
+                       const Layout &initial,
+                       const Layout &final_layout, int trials = 4,
+                       double tol = 1e-9, uint64_t seed = 99);
 
 } // namespace qcc
 

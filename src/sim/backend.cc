@@ -1,7 +1,7 @@
 #include "sim/backend.hh"
 
 #include "common/logging.hh"
-#include "compiler/chain_synthesis.hh"
+#include "compiler/pipeline.hh"
 
 namespace qcc {
 
@@ -28,8 +28,10 @@ DensityMatrixBackend::applyAnsatz(const Ansatz &ansatz,
     if (ansatz.nQubits != numQubits())
         fatal("DensityMatrixBackend::applyAnsatz: width mismatch");
     // Execute the gate-level circuit (HF preparation included) so the
-    // noise model charges every synthesized CNOT.
-    Circuit c = synthesizeChainCircuit(ansatz, params, true);
+    // noise model charges every synthesized CNOT. The cached pipeline
+    // path memoizes the structure, so the per-iteration work inside a
+    // noisy VQE loop is an angle rebind rather than a resynthesis.
+    Circuit c = cachedChainCircuit(ansatz, params, true);
     prepare(0);
     applyCircuit(c);
 }

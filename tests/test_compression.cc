@@ -52,8 +52,9 @@ TEST(Compression, KeptParamsAreTopImportance)
     for (unsigned k = 0; k < full.nParams; ++k) {
         bool kept = std::find(c.keptParams.begin(), c.keptParams.end(),
                               k) != c.keptParams.end();
-        if (!kept)
+        if (!kept) {
             EXPECT_LE(imp[k], minKept + 1e-12);
+        }
     }
 }
 

@@ -74,8 +74,9 @@ TEST(Grouping, BasisCoversEveryMember)
             // Each member must be obtainable from the basis by
             // replacing some positions with I.
             for (unsigned q = 0; q < p.numQubits(); ++q) {
-                if (p.op(q) != PauliOp::I)
+                if (p.op(q) != PauliOp::I) {
                     EXPECT_EQ(p.op(q), g.basis.op(q));
+                }
             }
         }
     }

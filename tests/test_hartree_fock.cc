@@ -61,10 +61,11 @@ TEST(HartreeFock, AllBenchmarksConverge)
         size_t nOcc =
             size_t(entry.build(entry.equilibriumBond).nElectrons() / 2);
         ASSERT_LE(nOcc, r.orbitalEnergies.size()) << entry.name;
-        if (nOcc < r.orbitalEnergies.size())
+        if (nOcc < r.orbitalEnergies.size()) {
             EXPECT_LT(r.orbitalEnergies[nOcc - 1],
                       r.orbitalEnergies[nOcc])
                 << entry.name;
+        }
     }
 }
 

@@ -77,9 +77,11 @@ TEST(Importance, DoubleExcitationDominatesInH2)
         if (a.excitations[k].kind == Excitation::Kind::Double)
             doubleIdx = k;
     ASSERT_NE(doubleIdx, ~0u);
-    for (unsigned k = 0; k < a.nParams; ++k)
-        if (k != doubleIdx)
+    for (unsigned k = 0; k < a.nParams; ++k) {
+        if (k != doubleIdx) {
             EXPECT_GE(imp[doubleIdx], imp[k]);
+        }
+    }
 }
 
 TEST(Importance, PredictsEnergySensitivity)

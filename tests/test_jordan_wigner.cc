@@ -89,9 +89,9 @@ TEST(JordanWigner, NumberOperator)
     num.simplify();
     ASSERT_EQ(num.numTerms(), 2u);
     for (const auto &t : num.terms()) {
-        if (t.string.isIdentity())
+        if (t.string.isIdentity()) {
             EXPECT_NEAR(std::abs(t.coeff - 0.5), 0.0, 1e-12);
-        else {
+        } else {
             EXPECT_EQ(t.string.op(1), PauliOp::Z);
             EXPECT_NEAR(std::abs(t.coeff + 0.5), 0.0, 1e-12);
         }

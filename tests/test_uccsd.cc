@@ -77,10 +77,11 @@ TEST(Uccsd, SinglesHaveTwoStringsDoublesEight)
     for (const auto &r : a.rotations)
         ++perParam[r.param];
     for (unsigned k = 0; k < a.nParams; ++k) {
-        if (a.excitations[k].kind == Excitation::Kind::Single)
+        if (a.excitations[k].kind == Excitation::Kind::Single) {
             EXPECT_EQ(perParam[k], 2u);
-        else
+        } else {
             EXPECT_EQ(perParam[k], 8u);
+        }
     }
 }
 
@@ -89,10 +90,11 @@ TEST(Uccsd, StringCoefficientsAreHalfOrEighth)
     Ansatz a = buildUccsd(2, 2);
     for (const auto &r : a.rotations) {
         double c = std::abs(r.coeff);
-        if (a.excitations[r.param].kind == Excitation::Kind::Single)
+        if (a.excitations[r.param].kind == Excitation::Kind::Single) {
             EXPECT_NEAR(c, 0.5, 1e-12);
-        else
+        } else {
             EXPECT_NEAR(c, 0.125, 1e-12);
+        }
     }
 }
 
