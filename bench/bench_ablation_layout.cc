@@ -12,6 +12,7 @@
 #include "ansatz/uccsd.hh"
 #include "bench_util.hh"
 #include "chem/molecules.hh"
+#include "common/rng.hh"
 #include "compiler/merge_to_root.hh"
 #include "ferm/hamiltonian.hh"
 
@@ -55,7 +56,7 @@ main()
 
         double randMean = 0;
         for (int t = 0; t < randomTrials; ++t) {
-            Rng rng(500 + t);
+            Rng rng(deriveSeed(500 + t));
             MtrResult r = mergeToRootCompile(
                 comp.ansatz, zeros, tree,
                 Layout::random(comp.ansatz.nQubits, 17, rng), true);

@@ -13,6 +13,7 @@
 #include "arch/yield.hh"
 #include "bench_util.hh"
 #include "chem/molecules.hh"
+#include "common/rng.hh"
 #include "compiler/merge_to_root.hh"
 #include "ferm/hamiltonian.hh"
 
@@ -57,7 +58,7 @@ main()
         }
 
         auto freqs = allocateFrequencies(tree.graph);
-        Rng rng(7);
+        Rng rng(deriveSeed(7));
         double y = simulateYield(tree.graph, freqs,
                                  0.4 * paperPrecisionToSigma,
                                  samples, rng);

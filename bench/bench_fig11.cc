@@ -17,6 +17,7 @@
 #include "arch/yield.hh"
 #include "bench_util.hh"
 #include "chem/molecules.hh"
+#include "common/rng.hh"
 #include "compiler/pipeline.hh"
 #include "ferm/hamiltonian.hh"
 
@@ -46,7 +47,7 @@ main()
     int ratioCount = 0;
     for (double precision : {0.2, 0.3, 0.4, 0.5, 0.6}) {
         double sigma = precision * paperPrecisionToSigma;
-        Rng r1(17), r2(17);
+        Rng r1(deriveSeed(17)), r2(deriveSeed(17));
         double yt = simulateYield(tree.graph, fTree, sigma, samples,
                                   r1);
         double yg =

@@ -17,6 +17,7 @@
 #include "ansatz/uccsd.hh"
 #include "bench_util.hh"
 #include "chem/molecules.hh"
+#include "common/rng.hh"
 #include "ferm/hamiltonian.hh"
 #include "sim/backend.hh"
 #include "sim/lanczos.hh"
@@ -101,7 +102,7 @@ main()
 
             double randMean = 0;
             for (int s = 0; s < randomSeeds; ++s) {
-                Rng rng(1000 + s);
+                Rng rng(deriveSeed(1000 + s));
                 CompressedAnsatz rnd =
                     randomCompress(full, 0.5, rng);
                 randMean += runVqe(backend, prob.hamiltonian,

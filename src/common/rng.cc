@@ -1,10 +1,56 @@
 #include "common/rng.hh"
 
+#include <cstdlib>
 #include <numeric>
+#include <string>
 
 #include "common/logging.hh"
 
 namespace qcc {
+
+uint64_t
+envUint(const char *name, uint64_t fallback, uint64_t min_value)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    // strtoull wraps a leading '-' instead of failing; reject it.
+    if (env[0] == '-' || end == env || *end != '\0' ||
+        v < min_value) {
+        warn(std::string(name) +
+             " is not a valid unsigned integer; using " +
+             std::to_string(fallback));
+        return fallback;
+    }
+    return uint64_t(v);
+}
+
+uint64_t
+globalSeed()
+{
+    static const uint64_t seed = envUint("QCC_SEED", 2021);
+    return seed;
+}
+
+uint64_t
+deriveStream(uint64_t seed, uint64_t stream)
+{
+    // splitmix64 finalizer over the combined words: cheap, and good
+    // enough to decorrelate mt19937_64 engines seeded with the
+    // results (each seed lands in a different region of state space).
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+deriveSeed(uint64_t stream)
+{
+    return deriveStream(globalSeed(), stream);
+}
 
 std::vector<size_t>
 Rng::choose(size_t n, size_t k)

@@ -2,7 +2,10 @@
  * @file
  * Seeded pseudo-random number generator wrapper used everywhere a
  * reproducible stream is needed (yield Monte-Carlo, random ansatz
- * selection, SPSA perturbations, simulator sampling).
+ * selection, SPSA perturbations, simulator shot sampling), plus the
+ * process-wide seed policy: every stochastic default derives from one
+ * master seed (QCC_SEED when set), so a whole run — sampling, SPSA,
+ * yield Monte-Carlo — replays bit-for-bit from a single knob.
  */
 
 #ifndef QCC_COMMON_RNG_HH
@@ -13,6 +16,35 @@
 #include <vector>
 
 namespace qcc {
+
+/**
+ * Parse an unsigned-integer environment knob. Returns `fallback`
+ * (with a warning) when the variable is set but not a clean decimal
+ * integer or falls below `min_value`; returns `fallback` silently
+ * when unset. Shared by every numeric QCC_* knob so they all reject
+ * garbage the same way.
+ */
+uint64_t envUint(const char *name, uint64_t fallback,
+                 uint64_t min_value = 0);
+
+/**
+ * Master seed for every stochastic default: QCC_SEED when the
+ * environment sets it (parsed as an unsigned integer), otherwise
+ * 2021. Read once and cached; set the variable before the first use.
+ */
+uint64_t globalSeed();
+
+/**
+ * Deterministic stream derivation: a splitmix64-style mix of `seed`
+ * and `stream`, so independent consumers (each shot batch, each
+ * gradient task, each Monte-Carlo trial) get decorrelated engines
+ * that still replay from one master seed. Pure function of its
+ * arguments — derived streams never depend on call order.
+ */
+uint64_t deriveStream(uint64_t seed, uint64_t stream);
+
+/** deriveStream anchored at the process-wide master seed. */
+uint64_t deriveSeed(uint64_t stream);
 
 /**
  * Thin deterministic wrapper around std::mt19937_64. All stochastic

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/rng.hh"
+
 namespace qcc {
 
 uint64_t
@@ -88,14 +90,8 @@ CircuitCache::stats() const
 CircuitCache &
 globalCircuitCache()
 {
-    static CircuitCache cache([] {
-        if (const char *env = std::getenv("QCC_COMPILE_CACHE_CAP")) {
-            long v = std::strtol(env, nullptr, 10);
-            if (v > 0)
-                return size_t(v);
-        }
-        return size_t{8192};
-    }());
+    static CircuitCache cache(
+        size_t(envUint("QCC_COMPILE_CACHE_CAP", 8192, 1)));
     return cache;
 }
 

@@ -1,6 +1,7 @@
 #include "pauli/grouping.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/logging.hh"
@@ -61,6 +62,33 @@ basisChangeOps(const PauliString &basis)
             ops.emplace_back(q, op);
     }
     return ops;
+}
+
+void
+basisChangeMatrix(PauliOp op, std::complex<double> u[4])
+{
+    if (op != PauliOp::X && op != PauliOp::Y)
+        panic("basisChangeMatrix: operator must be X or Y");
+    const double r = 1.0 / std::sqrt(2.0);
+    if (op == PauliOp::X) {
+        u[0] = r; u[1] = r;
+        u[2] = r; u[3] = -r;
+    } else {
+        u[0] = r; u[1] = std::complex<double>(0, -r);
+        u[2] = r; u[3] = std::complex<double>(0, r);
+    }
+}
+
+Circuit
+basisChangeCircuit(const PauliString &basis)
+{
+    Circuit c(basis.numQubits());
+    for (const auto &[q, op] : basisChangeOps(basis)) {
+        if (op == PauliOp::Y)
+            c.sdg(q);
+        c.h(q);
+    }
+    return c;
 }
 
 double

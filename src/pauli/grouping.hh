@@ -10,9 +10,11 @@
 #ifndef QCC_PAULI_GROUPING_HH
 #define QCC_PAULI_GROUPING_HH
 
+#include <complex>
 #include <utility>
 #include <vector>
 
+#include "circuit/circuit.hh"
 #include "pauli/pauli_sum.hh"
 
 namespace qcc {
@@ -57,6 +59,22 @@ double groupingReduction(const PauliSum &h,
  */
 std::vector<std::pair<unsigned, PauliOp>>
 basisChangeOps(const PauliString &basis);
+
+/**
+ * The 2x2 unitary conjugating op to Z exactly (no residual sign):
+ * H for X, the fused H * Sdg for Y. `op` must be X or Y. This is the
+ * matrix form of one basisChangeOps entry, shared by the grouped
+ * expectation sweep and the shot-sampling path.
+ */
+void basisChangeMatrix(PauliOp op, std::complex<double> u[4]);
+
+/**
+ * Gate-level measurement-basis rotation for a family: the circuit a
+ * hardware run would append before the terminal Z-basis readout
+ * (H on X qubits, Sdg then H on Y qubits). Applying it maps every
+ * member of the family to a Z-string on its own support.
+ */
+Circuit basisChangeCircuit(const PauliString &basis);
 
 } // namespace qcc
 

@@ -16,6 +16,7 @@
 #define QCC_SIM_BACKEND_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "ansatz/uccsd.hh"
@@ -53,6 +54,18 @@ class SimBackend
 
     /** Expectation of a Pauli-sum Hamiltonian in the current state. */
     virtual double expectation(const PauliSum &h) const = 0;
+
+    /**
+     * Shot-sampling hook: computational-basis outcome probabilities
+     * of the current state after the given measurement-basis
+     * rotations (the basisChangeOps convention: X -> H, Y -> H Sdg).
+     * The state is not consumed — SamplingEngine draws all of a
+     * family's shots from one distribution, which is exact for the
+     * simulator (repeated preparation on hardware is i.i.d.).
+     */
+    virtual std::vector<double> measurementProbabilities(
+        const std::vector<std::pair<unsigned, PauliOp>> &rotations)
+        const = 0;
 
     /**
      * Prepare |psi(theta)| for an ansatz: by default the HF basis
@@ -97,6 +110,14 @@ class StatevectorBackend : public SimBackend
     expectation(const PauliSum &h) const override
     {
         return sv.expectation(h);
+    }
+
+    std::vector<double>
+    measurementProbabilities(
+        const std::vector<std::pair<unsigned, PauliOp>> &rotations)
+        const override
+    {
+        return sv.basisProbabilities(rotations);
     }
 
     const Statevector *statevector() const override { return &sv; }
@@ -148,6 +169,14 @@ class DensityMatrixBackend : public SimBackend
     expectation(const PauliSum &h) const override
     {
         return rho.expectation(h);
+    }
+
+    std::vector<double>
+    measurementProbabilities(
+        const std::vector<std::pair<unsigned, PauliOp>> &rotations)
+        const override
+    {
+        return rho.basisProbabilities(rotations);
     }
 
     void applyAnsatz(const Ansatz &ansatz,

@@ -1,9 +1,11 @@
 #include "sim/density_matrix.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
 #include "common/logging.hh"
+#include "pauli/grouping.hh"
 #include "sim/kernels.hh"
 #include "sim/statevector.hh"
 
@@ -95,25 +97,30 @@ DensityMatrix::applyPauliRotation(double theta, const PauliString &p)
 }
 
 void
+DensityMatrix::applyGateNoisy(const Gate &g, const NoiseModel &noise)
+{
+    applyGate(g);
+    if (noise.isNoiseless())
+        return;
+    if (g.kind == GateKind::CNOT) {
+        depolarize2(g.q0, g.q1, noise.cnotDepolarizing);
+    } else if (g.kind == GateKind::SWAP) {
+        // A routed SWAP is three CNOTs on hardware: apply the
+        // two-qubit channel three times.
+        for (int i = 0; i < 3; ++i)
+            depolarize2(g.q0, g.q1, noise.cnotDepolarizing);
+    } else if (noise.singleQubitDepolarizing > 0.0) {
+        depolarize1(g.q0, noise.singleQubitDepolarizing);
+    }
+}
+
+void
 DensityMatrix::applyCircuit(const Circuit &c, const NoiseModel &noise)
 {
     if (c.numQubits() != nQubits)
         panic("DensityMatrix::applyCircuit: width mismatch");
-    for (const auto &g : c.gates()) {
-        applyGate(g);
-        if (noise.isNoiseless())
-            continue;
-        if (g.kind == GateKind::CNOT) {
-            depolarize2(g.q0, g.q1, noise.cnotDepolarizing);
-        } else if (g.kind == GateKind::SWAP) {
-            // A routed SWAP is three CNOTs on hardware: apply the
-            // two-qubit channel three times.
-            for (int i = 0; i < 3; ++i)
-                depolarize2(g.q0, g.q1, noise.cnotDepolarizing);
-        } else if (noise.singleQubitDepolarizing > 0.0) {
-            depolarize1(g.q0, noise.singleQubitDepolarizing);
-        }
-    }
+    for (const auto &g : c.gates())
+        applyGateNoisy(g, noise);
 }
 
 void
@@ -190,6 +197,33 @@ DensityMatrix::conjugatePauli1(unsigned q, PauliOp op)
         uc[i] = std::conj(u[i]);
     applyRaw1q(q, u);
     applyRaw1q(q + nQubits, uc);
+}
+
+std::vector<double>
+DensityMatrix::basisProbabilities(
+    const std::vector<std::pair<unsigned, PauliOp>> &rotations) const
+{
+    std::vector<complex<double>> rho = vec;
+    for (const auto &[q, op] : rotations) {
+        if (q >= nQubits)
+            panic("basisProbabilities: qubit out of range");
+        complex<double> u[4], uc[4];
+        basisChangeMatrix(op, u);
+        for (int i = 0; i < 4; ++i)
+            uc[i] = std::conj(u[i]);
+        kern::apply1q(rho.data(), rho.size(), q, u);
+        kern::apply1q(rho.data(), rho.size(), q + nQubits, uc);
+    }
+    const uint64_t dim = uint64_t{1} << nQubits;
+    std::vector<double> probs(dim);
+    for (uint64_t b = 0; b < dim; ++b) {
+        // Diagonal entries of a positive-semidefinite rho are real;
+        // clamp the tiny negative excursions roundoff produces so
+        // sampling never sees a negative weight.
+        probs[b] =
+            std::max(0.0, rho[b | (b << nQubits)].real());
+    }
+    return probs;
 }
 
 double

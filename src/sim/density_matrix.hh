@@ -11,6 +11,7 @@
 #define QCC_SIM_DENSITY_MATRIX_HH
 
 #include <complex>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.hh"
@@ -34,8 +35,31 @@ class DensityMatrix
     /** Matrix element <r| rho |c>. */
     std::complex<double> element(uint64_t r, uint64_t c) const;
 
+    /**
+     * Raw vectorized storage (low n index bits = ket, high n = bra).
+     * Every channel and gate of this class is a linear map on this
+     * vector, so callers may hold differences of density matrices in
+     * a DensityMatrix and push them through gates/channels — the
+     * batched gradient engine's pair-difference sweep does exactly
+     * that. Writers must preserve the vector's length.
+     */
+    std::vector<std::complex<double>> &vectorized() { return vec; }
+    const std::vector<std::complex<double>> &vectorized() const
+    {
+        return vec;
+    }
+
     /** Apply a unitary gate (rho -> U rho U+). */
     void applyGate(const Gate &g);
+
+    /**
+     * One gate plus its noise channel, exactly as applyCircuit
+     * inserts them: depolarize2 after a CNOT (three times for a
+     * routed SWAP), depolarize1 after 1q gates when configured.
+     * Exposed so batched gradient sweeps can replay circuit
+     * suffixes gate by gate.
+     */
+    void applyGateNoisy(const Gate &g, const NoiseModel &noise);
 
     /**
      * Exact (noise-free) rho -> U rho U+ for U = exp(i theta P),
@@ -52,6 +76,16 @@ class DensityMatrix
 
     /** Single-qubit depolarizing channel with probability p on q. */
     void depolarize1(unsigned q, double p);
+
+    /**
+     * Computational-basis outcome probabilities after conjugating a
+     * copy of rho by the given single-qubit basis-change rotations
+     * (X -> H, Y -> H Sdg): the diagonal of U rho U+, clamped to
+     * [0, 1] against roundoff. Feeds the shot-sampling backend path.
+     */
+    std::vector<double> basisProbabilities(
+        const std::vector<std::pair<unsigned, PauliOp>> &rotations)
+        const;
 
     /** Tr(P rho). */
     double expectation(const PauliString &p) const;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "pauli/grouping.hh"
 #include "sim/kernels.hh"
 
 namespace qcc {
@@ -119,6 +120,32 @@ Statevector::expectation(const PauliString &p) const
         panic("expectation: width mismatch");
     return kern::expectation(amp.data(), amp.size(), p.xMask(),
                              p.zMask());
+}
+
+std::vector<double>
+Statevector::basisProbabilities(
+    const std::vector<std::pair<unsigned, PauliOp>> &rotations) const
+{
+    const size_t dim = amp.size();
+    std::vector<cplx> rotated;
+    const cplx *state = amp.data();
+    if (!rotations.empty()) {
+        rotated = amp;
+        for (const auto &[q, op] : rotations) {
+            if (q >= nQubits)
+                panic("basisProbabilities: qubit out of range");
+            cplx u[4];
+            basisChangeMatrix(op, u);
+            kern::apply1q(rotated.data(), dim, q, u);
+        }
+        state = rotated.data();
+    }
+    std::vector<double> probs(dim);
+    parallelFor(0, dim, [&](size_t lo, size_t hi) {
+        for (size_t b = lo; b < hi; ++b)
+            probs[b] = std::norm(state[b]);
+    });
+    return probs;
 }
 
 double

@@ -13,6 +13,7 @@
 #define QCC_SIM_STATEVECTOR_HH
 
 #include <complex>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.hh"
@@ -68,6 +69,17 @@ class Statevector
 
     /** <psi| P |psi> (real part; P is Hermitian). */
     double expectation(const PauliString &p) const;
+
+    /**
+     * Computational-basis outcome probabilities after applying the
+     * given single-qubit basis-change rotations (X -> H, Y -> H Sdg,
+     * the basisChangeOps convention) to a copy of the state. With no
+     * rotations this is simply |amp|^2. Feeds the shot-sampling
+     * backend path; the state itself is left untouched.
+     */
+    std::vector<double> basisProbabilities(
+        const std::vector<std::pair<unsigned, PauliOp>> &rotations)
+        const;
 
     /**
      * <psi| H |psi> for a Pauli sum: one read-only kernel pass per

@@ -1,0 +1,375 @@
+#include "vqe/driver.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/optimize.hh"
+
+namespace qcc {
+
+namespace {
+
+/** Sub-stream tags so no two stochastic consumers share a stream. */
+constexpr uint64_t kStreamEnergy = 1;
+constexpr uint64_t kStreamGradient = 2;
+constexpr uint64_t kStreamSpsa = 3;
+constexpr uint64_t kStreamReadout = 4;
+
+const char *
+methodName(VqeDriverOptions::Method m)
+{
+    switch (m) {
+      case VqeDriverOptions::Method::Lbfgs: return "lbfgs";
+      case VqeDriverOptions::Method::GradientDescent: return "gd";
+      case VqeDriverOptions::Method::Spsa: return "spsa";
+      case VqeDriverOptions::Method::NelderMead: return "nelder-mead";
+    }
+    return "?";
+}
+
+double
+infNorm(const std::vector<double> &v)
+{
+    double m = 0.0;
+    for (double e : v)
+        m = std::max(m, std::fabs(e));
+    return m;
+}
+
+} // namespace
+
+const char *
+evalModeName(EvalMode mode)
+{
+    switch (mode) {
+      case EvalMode::Ideal: return "ideal";
+      case EvalMode::Noisy: return "noisy";
+      case EvalMode::Sampled: return "sampled";
+    }
+    return "?";
+}
+
+std::string
+VqeTrace::json() const
+{
+    std::string out = "{\n";
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"mode\": \"%s\",\n  \"optimizer\": \"%s\",\n"
+                  "  \"seed\": %llu,\n  \"points\": [",
+                  mode.c_str(), optimizer.c_str(),
+                  (unsigned long long)seed);
+    out += buf;
+    for (size_t i = 0; i < points.size(); ++i) {
+        const VqeTracePoint &p = points[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n    {\"iter\": %d, \"energy\": %.17g, "
+                      "\"variance\": %.17g, \"shots\": %llu, "
+                      "\"grad_norm\": %.17g}",
+                      i ? "," : "", p.iter, p.energy, p.variance,
+                      (unsigned long long)p.shots, p.gradNorm);
+        out += buf;
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+VqeDriver::VqeDriver(const PauliSum &h, const Ansatz &a,
+                     VqeDriverOptions o)
+    : ham(h), ansatz(a), opts(o), shiftEngine(h, ansatz, o.gradient)
+{
+    if (ham.numQubits() != ansatz.nQubits)
+        fatal("VqeDriver: Hamiltonian/ansatz width mismatch");
+    if (opts.mode == EvalMode::Sampled) {
+        sampler.emplace(ham, opts.sampling);
+        perEvalShots = std::accumulate(
+            sampler->shotAllocation().begin(),
+            sampler->shotAllocation().end(), uint64_t{0});
+    } else {
+        engine.emplace(ham);
+    }
+    evalBackend = makeBackend();
+    traceData.mode = evalModeName(opts.mode);
+    traceData.optimizer = methodName(opts.method);
+    traceData.seed = opts.seed;
+}
+
+std::unique_ptr<SimBackend>
+VqeDriver::makeBackend() const
+{
+    if (opts.mode == EvalMode::Noisy)
+        return std::make_unique<DensityMatrixBackend>(ansatz.nQubits,
+                                                      opts.noise);
+    return std::make_unique<StatevectorBackend>(ansatz.nQubits);
+}
+
+double
+VqeDriver::measureCurrent(SimBackend &backend, uint64_t stream,
+                          double *variance_out)
+{
+    if (opts.mode != EvalMode::Sampled) {
+        if (variance_out)
+            *variance_out = 0.0;
+        return engine->energy(backend);
+    }
+    Rng rng(stream);
+    SampledEnergy s = sampler->measure(backend, rng);
+    shotsTotal += s.shots;
+    if (variance_out)
+        *variance_out = s.variance;
+    return s.energy;
+}
+
+void
+VqeDriver::recordPoint(int iter, double e, double var, double gnorm)
+{
+    traceData.points.push_back({iter, e, var, shotsTotal, gnorm});
+}
+
+double
+VqeDriver::energy(const std::vector<double> &params)
+{
+    evalBackend->applyAnsatz(ansatz, params);
+    const uint64_t stream = deriveStream(
+        deriveStream(opts.seed, kStreamEnergy), evalCount);
+    ++evalCount;
+    double var = 0.0;
+    const double e = measureCurrent(*evalBackend, stream, &var);
+    recordPoint(int(evalCount), e, var, 0.0);
+    return e;
+}
+
+std::vector<double>
+VqeDriver::gradient(const std::vector<double> &params)
+{
+    // Per-call, per-task streams: independent of both scheduling and
+    // batching, so the batched fan-out is bit-identical to serial.
+    const uint64_t callStream =
+        deriveStream(deriveStream(opts.seed, kStreamGradient),
+                     gradCount);
+    ++gradCount;
+    const bool sampled = opts.mode == EvalMode::Sampled;
+    std::vector<double> g;
+    switch (opts.mode) {
+      case EvalMode::Ideal:
+          g = shiftEngine.gradientStatevector(
+              params, [&](const Statevector &psi, size_t) {
+                  return engine->energy(psi);
+              });
+          break;
+      case EvalMode::Noisy:
+          g = shiftEngine.gradientNoisy(params, opts.noise);
+          break;
+      case EvalMode::Sampled:
+          g = shiftEngine.gradientStatevector(
+              params, [&](const Statevector &psi, size_t task) {
+                  Rng rng(deriveStream(callStream, task));
+                  return sampler->measure(psi, rng).energy;
+              });
+          break;
+    }
+    if (sampled)
+        // Every shifted evaluation spends the fixed allocation;
+        // accounted here once so the batched tasks touch no shared
+        // state.
+        shotsTotal +=
+            shiftEngine.numShiftedEvaluations() * perEvalShots;
+    return g;
+}
+
+VqeResult
+VqeDriver::runGradientDescent()
+{
+    std::vector<double> x(ansatz.nParams, 0.0);
+    const bool sampled = opts.mode == EvalMode::Sampled;
+
+    VqeResult res;
+    evalBackend->applyAnsatz(ansatz, x);
+    double var = 0.0;
+    double e = measureCurrent(
+        *evalBackend,
+        deriveStream(deriveStream(opts.seed, kStreamEnergy),
+                     evalCount++),
+        &var);
+    int evals = 1;
+    double bestE = e;
+    std::vector<double> bestX = x;
+
+    int iter = 0;
+    for (; iter < opts.maxIter; ++iter) {
+        std::vector<double> g = gradient(x);
+        const double gnorm = infNorm(g);
+        recordPoint(iter, e, var, gnorm);
+        if (gnorm < opts.gtol) {
+            res.converged = true;
+            break;
+        }
+
+        double eNew = e;
+        std::vector<double> xNew = x;
+        if (!sampled) {
+            // Deterministic objective: Armijo backtracking from the
+            // configured rate.
+            double gg = 0.0;
+            for (double v : g)
+                gg += v * v;
+            double step = opts.learningRate;
+            bool accepted = false;
+            for (int ls = 0; ls < 30; ++ls) {
+                for (size_t j = 0; j < x.size(); ++j)
+                    xNew[j] = x[j] - step * g[j];
+                evalBackend->applyAnsatz(ansatz, xNew);
+                eNew = measureCurrent(*evalBackend, 0, &var);
+                ++evals;
+                if (eNew <= e - 1e-4 * step * gg) {
+                    accepted = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if (!accepted) {
+                res.converged = true; // no descent left at this scale
+                break;
+            }
+        } else {
+            // Stochastic estimates: decaying open-loop step (the
+            // SPSA gain schedule), no line search to fool.
+            const double step =
+                opts.learningRate / std::pow(iter + 1.0, 0.602);
+            for (size_t j = 0; j < x.size(); ++j)
+                xNew[j] = x[j] - step * g[j];
+            evalBackend->applyAnsatz(ansatz, xNew);
+            eNew = measureCurrent(
+                *evalBackend,
+                deriveStream(deriveStream(opts.seed, kStreamEnergy),
+                             evalCount++),
+                &var);
+            ++evals;
+        }
+
+        const double change = std::fabs(e - eNew);
+        x = std::move(xNew);
+        e = eNew;
+        if (e < bestE) {
+            bestE = e;
+            bestX = x;
+        }
+        if (!sampled &&
+            change < opts.ftol * (1.0 + std::fabs(e))) {
+            ++iter;
+            res.converged = true;
+            break;
+        }
+    }
+
+    res.energy = sampled ? bestE : e;
+    res.params = sampled ? bestX : x;
+    res.iterations = iter;
+    res.evals =
+        evals + int(gradCount * shiftEngine.numShiftedEvaluations());
+    if (sampled)
+        res.converged = true; // ran its budget; noise floor decides
+    return res;
+}
+
+VqeResult
+VqeDriver::run()
+{
+    using Method = VqeDriverOptions::Method;
+    std::vector<double> x0(ansatz.nParams, 0.0);
+    auto objective = [this](const std::vector<double> &x) {
+        return energy(x);
+    };
+
+    VqeResult res;
+    switch (opts.method) {
+      case Method::GradientDescent:
+          res = runGradientDescent();
+          break;
+      case Method::Lbfgs: {
+          LbfgsOptions lo;
+          lo.maxIter = opts.maxIter;
+          lo.gtol = opts.gtol;
+          lo.ftol = opts.ftol;
+          GradientFn grad = [this](const std::vector<double> &x) {
+              return gradient(x);
+          };
+          OptimizeResult opt = lbfgsMinimize(objective, x0, lo, grad);
+          res.energy = opt.fun;
+          res.params = opt.x;
+          res.iterations = opt.iterations;
+          res.evals = opt.funEvals +
+              int(gradCount * shiftEngine.numShiftedEvaluations());
+          res.converged = opt.converged;
+          break;
+      }
+      case Method::Spsa: {
+          SpsaOptions so;
+          so.maxIter = opts.spsaIter;
+          so.seed = deriveStream(opts.seed, kStreamSpsa);
+          OptimizeResult opt = spsa(objective, x0, so);
+          res.energy = opt.fun;
+          res.params = opt.x;
+          res.iterations = opt.iterations;
+          res.evals = opt.funEvals;
+          res.converged = opt.converged;
+          break;
+      }
+      case Method::NelderMead: {
+          NelderMeadOptions no;
+          no.maxIter =
+              opts.maxIter * std::max(1u, ansatz.nParams);
+          OptimizeResult opt = nelderMead(objective, x0, no);
+          res.energy = opt.fun;
+          res.params = opt.x;
+          res.iterations = opt.iterations;
+          res.evals = opt.funEvals;
+          res.converged = opt.converged;
+          break;
+      }
+    }
+
+    if (opts.mode == EvalMode::Sampled &&
+        opts.finalReadoutFactor > 1) {
+        // Shot-frugal reporting: one generous readout at the best
+        // parameters instead of tightening every iteration.
+        SamplingOptions big = opts.sampling;
+        big.shots *= opts.finalReadoutFactor;
+        SamplingEngine readout(ham, big);
+        evalBackend->applyAnsatz(ansatz, res.params);
+        Rng rng(deriveStream(opts.seed, kStreamReadout));
+        SampledEnergy fin = readout.measure(*evalBackend, rng);
+        shotsTotal += fin.shots;
+        res.energy = fin.energy;
+        recordPoint(res.iterations, fin.energy, fin.variance, 0.0);
+    }
+    return res;
+}
+
+std::string
+VqeDriver::writeTrace(const std::string &name) const
+{
+    const char *env = std::getenv("QCC_JSON");
+    if (!env)
+        return {};
+    std::string dir(env);
+    if (dir.empty() || dir == "0")
+        return {};
+    const std::string path =
+        (dir == "1" ? std::string() : dir + "/") + "TRACE_" + name +
+        ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("VqeDriver::writeTrace: cannot write " + path);
+        return {};
+    }
+    const std::string doc = traceData.json();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+} // namespace qcc

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unified VQE driver: one object owning the simulation backend
+ * choice, the energy-estimation engine, the parameter-shift gradient
+ * engine, and the classical optimizer. Three evaluation modes behind
+ * one enum —
+ *
+ *  - Ideal:   statevector backend, grouped analytic expectation;
+ *  - Noisy:   density-matrix backend with depolarizing channels
+ *             (gate circuits through the cached compiler pipeline);
+ *  - Sampled: statevector backend read out through the shot-based
+ *             SamplingEngine, the NISQ measurement-cost model;
+ *
+ * and four optimizers (L-BFGS with analytic parameter-shift
+ * gradients, plain gradient descent, SPSA, Nelder-Mead). Every run
+ * records a machine-readable trace — per-point energy, estimator
+ * variance, cumulative shots, gradient norm — that writeTrace()
+ * serializes as TRACE_<name>.json under the QCC_JSON convention, so
+ * convergence and measurement-cost trajectories can be captured
+ * without scraping stdout. All stochastic behavior derives from one
+ * seed (default: the QCC_SEED-backed global seed).
+ */
+
+#ifndef QCC_VQE_DRIVER_HH
+#define QCC_VQE_DRIVER_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ansatz/uccsd.hh"
+#include "common/rng.hh"
+#include "pauli/pauli_sum.hh"
+#include "sim/backend.hh"
+#include "sim/noise_model.hh"
+#include "sim/sampling.hh"
+#include "vqe/expectation_engine.hh"
+#include "vqe/gradient.hh"
+#include "vqe/vqe.hh"
+
+namespace qcc {
+
+/** How the driver turns parameters into an energy estimate. */
+enum class EvalMode { Ideal, Noisy, Sampled };
+
+/** Printable mode name ("ideal", "noisy", "sampled"). */
+const char *evalModeName(EvalMode mode);
+
+/** Driver configuration. */
+struct VqeDriverOptions
+{
+    EvalMode mode = EvalMode::Ideal;
+
+    enum class Method
+    {
+        Lbfgs,           ///< quasi-Newton, analytic shift gradients
+        GradientDescent, ///< steepest descent on shift gradients
+        Spsa,            ///< two evaluations/iter, noise-robust
+        NelderMead,      ///< derivative-free simplex
+    };
+    Method method = Method::Lbfgs;
+
+    NoiseModel noise;         ///< Noisy mode channels
+    SamplingOptions sampling; ///< Sampled mode shot policy
+    GradientOptions gradient; ///< shift rule + batching
+
+    int maxIter = 200;        ///< outer-loop iteration budget
+    int spsaIter = 250;       ///< SPSA iteration budget
+    double learningRate = 0.4; ///< gradient-descent initial step
+    double gtol = 1e-5;       ///< gradient infinity-norm tolerance
+    double ftol = 1e-9;       ///< relative energy-change tolerance
+
+    /**
+     * Master seed for every stochastic component of the run (shot
+     * draws, SPSA perturbations). Defaults to the process-wide
+     * QCC_SEED-backed seed, so one environment variable reproduces
+     * the whole run.
+     */
+    uint64_t seed = globalSeed();
+
+    /**
+     * Sampled mode re-reads the energy at the best parameters with
+     * this multiple of the per-evaluation shot budget before
+     * reporting, so the returned energy is not limited by one
+     * iteration's noise floor.
+     */
+    unsigned finalReadoutFactor = 8;
+};
+
+/** One trace record. */
+struct VqeTracePoint
+{
+    int iter = 0;         ///< optimizer iteration / evaluation index
+    double energy = 0.0;
+    double variance = 0.0; ///< estimator variance (0 when exact)
+    uint64_t shots = 0;    ///< cumulative shots spent so far
+    double gradNorm = 0.0; ///< infinity norm (0 when not computed)
+};
+
+/** Machine-readable run record. */
+struct VqeTrace
+{
+    std::string mode;      ///< "ideal" | "noisy" | "sampled"
+    std::string optimizer;
+    uint64_t seed = 0;
+    std::vector<VqeTracePoint> points;
+
+    /** Full JSON document (stable field order, %.17g numbers). */
+    std::string json() const;
+};
+
+/**
+ * VQE driver owning backend construction, energy estimation,
+ * gradients, and the optimizer loop. Not thread-safe; gradient
+ * evaluations internally fan out over the thread pool.
+ */
+class VqeDriver
+{
+  public:
+    VqeDriver(const PauliSum &h, const Ansatz &ansatz,
+              VqeDriverOptions opts = {});
+
+    // Not copyable or movable: shiftEngine points at this driver's
+    // own ansatz member, so a relocated driver would leave the
+    // engine reading the old object's storage.
+    VqeDriver(const VqeDriver &) = delete;
+    VqeDriver &operator=(const VqeDriver &) = delete;
+
+    /** Fresh backend for the configured mode. */
+    std::unique_ptr<SimBackend> makeBackend() const;
+
+    /**
+     * One energy estimate at `params` (recorded in the trace).
+     * Sampled mode consumes a per-call rng stream derived from the
+     * seed and the evaluation counter.
+     */
+    double energy(const std::vector<double> &params);
+
+    /** Parameter-shift gradient at `params` (2R evaluations). */
+    std::vector<double> gradient(const std::vector<double> &params);
+
+    /** Minimize from a zero start with the configured optimizer. */
+    VqeResult run();
+
+    const VqeTrace &trace() const { return traceData; }
+    uint64_t shotsSpent() const { return shotsTotal; }
+    const VqeDriverOptions &options() const { return opts; }
+
+    /**
+     * Write the trace as TRACE_<name>.json under the QCC_JSON
+     * convention ("1" = current directory, otherwise a directory).
+     * Returns the path written, or empty when QCC_JSON is unset.
+     */
+    std::string writeTrace(const std::string &name) const;
+
+  private:
+    double measureCurrent(SimBackend &backend, uint64_t stream,
+                          double *variance_out);
+    VqeResult runGradientDescent();
+    void recordPoint(int iter, double e, double var, double gnorm);
+
+    PauliSum ham;
+    Ansatz ansatz;
+    VqeDriverOptions opts;
+    std::optional<ExpectationEngine> engine;  ///< Ideal/Noisy
+    std::optional<SamplingEngine> sampler;    ///< Sampled
+    ParameterShiftEngine shiftEngine;
+    std::unique_ptr<SimBackend> evalBackend; ///< reused, serial path
+    VqeTrace traceData;
+    uint64_t perEvalShots = 0; ///< Sampled: shots per estimate
+    uint64_t shotsTotal = 0;
+    uint64_t evalCount = 0;
+    uint64_t gradCount = 0;
+};
+
+} // namespace qcc
+
+#endif // QCC_VQE_DRIVER_HH

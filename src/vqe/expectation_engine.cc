@@ -8,24 +8,6 @@
 
 namespace qcc {
 
-namespace {
-
-/** H for X-basis qubits; the fused H * Sdg for Y-basis qubits. Both
- *  conjugate the basis operator to Z exactly (no residual sign). */
-void
-basisChangeMatrix(PauliOp op, kern::cplx u[4])
-{
-    const double r = 1.0 / std::sqrt(2.0);
-    if (op == PauliOp::X) {
-        u[0] = r; u[1] = r; u[2] = r; u[3] = -r;
-    } else {
-        u[0] = r; u[1] = kern::cplx(0, -r);
-        u[2] = r; u[3] = kern::cplx(0, r);
-    }
-}
-
-} // namespace
-
 ExpectationEngine::ExpectationEngine(const PauliSum &h)
     : ham(h), nQubits(h.numQubits())
 {
@@ -87,6 +69,11 @@ ExpectationEngine::energy(const Statevector &psi) const
         panic("ExpectationEngine::energy: width mismatch");
     const auto &amp = psi.amplitudes();
     const size_t dim = amp.size();
+
+    // Reused rotated-state buffer: thread-local so concurrent
+    // gradient tasks can evaluate through one shared engine, still
+    // no O(2^n) allocation per steady-state call on any thread.
+    static thread_local std::vector<cplx> scratch;
 
     double e = 0.0;
     for (const auto &plan : plans) {

@@ -18,9 +18,10 @@
  *
  * This mirrors the measurement-grouping economics the paper cites
  * (Section VIII-A — fewer settings per energy evaluation) while
- * never losing to the plain termwise sweep. The engine owns a
- * reusable rotated-state scratch buffer, so steady-state evaluation
- * performs no O(2^n) allocations.
+ * never losing to the plain termwise sweep. Evaluation reuses a
+ * thread-local rotated-state scratch buffer, so steady-state calls
+ * perform no O(2^n) allocations and one engine can serve concurrent
+ * gradient tasks (energy() is const and thread-safe).
  */
 
 #ifndef QCC_VQE_EXPECTATION_ENGINE_HH
@@ -81,7 +82,6 @@ class ExpectationEngine
     unsigned nQubits;
     std::vector<GroupPlan> plans;
     std::vector<TermPlan> termwise;
-    mutable std::vector<cplx> scratch; ///< reused rotated state
 };
 
 } // namespace qcc

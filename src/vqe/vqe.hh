@@ -17,6 +17,7 @@
 
 #include "ansatz/uccsd.hh"
 #include "common/optimize.hh"
+#include "common/rng.hh"
 #include "pauli/pauli_sum.hh"
 #include "sim/backend.hh"
 #include "sim/noise_model.hh"
@@ -34,7 +35,8 @@ struct VqeOptions
     double gtol = 1e-5;       ///< L-BFGS gradient tolerance
     double ftol = 1e-9;       ///< relative energy-change tolerance
     int spsaIter = 250;       ///< SPSA iteration budget
-    uint64_t seed = 2021;
+    /** SPSA seed; follows QCC_SEED (default 2021) via globalSeed. */
+    uint64_t seed = globalSeed();
 };
 
 /** VQE outcome. */

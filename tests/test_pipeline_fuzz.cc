@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Fuzz-style property test for the compiler pipeline: random Pauli
+ * programs (random strings, widths, parameter bindings, HF masks)
+ * are pushed through every flow — chain synthesis, hierarchical
+ * layout + Merge-to-Root, and chain + SABRE — and each compile must
+ * (a) pass the pipeline's own verify pass and (b) be exhaustively
+ * unitary-equivalent to its logical reference on <= 6 qubits, where
+ * equivalence can be checked over every basis state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ansatz/uccsd.hh"
+#include "arch/xtree.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "compiler/chain_synthesis.hh"
+#include "compiler/pipeline.hh"
+#include "compiler/verify.hh"
+
+using namespace qcc;
+
+namespace {
+
+/** Random ansatz program: widths 2..6, up to 8 random strings. */
+Ansatz
+randomProgram(Rng &rng)
+{
+    Ansatz a;
+    a.nQubits = 2 + unsigned(rng.index(5)); // 2..6
+    const uint64_t full = (uint64_t{1} << a.nQubits) - 1;
+    const size_t nRot = 1 + rng.index(8);
+    a.nParams = unsigned(nRot);
+    a.hfMask = rng.index(full + 1);
+    for (size_t j = 0; j < nRot; ++j) {
+        // Random (x, z) masks cover all operators, identity rows
+        // included (they synthesize to empty subcircuits).
+        PauliString p(a.nQubits, rng.index(full + 1),
+                      rng.index(full + 1));
+        a.rotations.push_back(
+            {unsigned(j), rng.uniform(0.2, 1.5), p});
+    }
+    return a;
+}
+
+std::vector<double>
+randomParams(const Ansatz &a, Rng &rng)
+{
+    std::vector<double> p(a.nParams);
+    for (double &v : p)
+        v = rng.uniform(-0.8, 0.8);
+    return p;
+}
+
+/** Compile under `opts` and check exhaustive unitary equivalence. */
+void
+checkFlow(const Ansatz &a, const std::vector<double> &params,
+          const CompilerPipeline &pipe, const char *what,
+          uint64_t trial)
+{
+    CompileResult res;
+    ASSERT_NO_THROW(res = pipe.compile(a, params))
+        << what << " trial " << trial;
+
+    const Circuit logical = synthesizeChainCircuit(a, params, true);
+    const unsigned nl = logical.numQubits();
+    const bool routed =
+        pipe.options().flow != PipelineOptions::Flow::ChainOnly;
+    Layout initial =
+        routed ? res.initialLayout : Layout::identity(nl, nl);
+    Layout final_layout =
+        routed ? res.finalLayout : Layout::identity(nl, nl);
+    // trials = 0 on <= 6 qubits: every basis state is checked.
+    EXPECT_TRUE(checkCompiledEquivalence(res.circuit, logical,
+                                         initial, final_layout, 0))
+        << what << " trial " << trial << " (" << a.nQubits
+        << " qubits, " << a.rotations.size() << " rotations)";
+}
+
+} // namespace
+
+TEST(PipelineFuzz, RandomProgramsCompileAndStayEquivalent)
+{
+    setVerbose(false);
+    XTree tree = makeXTree(7);
+
+    PipelineOptions chainOpts;
+    chainOpts.flow = PipelineOptions::Flow::ChainOnly;
+    chainOpts.verifyTrials = 2;
+    chainOpts.useCache = false;
+    CompilerPipeline chain(chainOpts);
+
+    PipelineOptions mtrOpts;
+    mtrOpts.verifyTrials = 2;
+    mtrOpts.useCache = false;
+    CompilerPipeline mtr(tree, mtrOpts);
+
+    PipelineOptions sabreOpts;
+    sabreOpts.flow = PipelineOptions::Flow::Sabre;
+    sabreOpts.verifyTrials = 2;
+    sabreOpts.useCache = false;
+    CompilerPipeline sabre(tree, sabreOpts);
+
+    const int trials = 12;
+    for (uint64_t t = 0; t < trials; ++t) {
+        Rng rng(deriveStream(0xF022 + t, 0));
+        Ansatz a = randomProgram(rng);
+        auto params = randomParams(a, rng);
+        checkFlow(a, params, chain, "chain", t);
+        checkFlow(a, params, mtr, "merge-to-root", t);
+        checkFlow(a, params, sabre, "sabre", t);
+    }
+}
+
+TEST(PipelineFuzz, CachedRecompileOfRandomProgramsIsExact)
+{
+    if (!circuitCacheEnabled())
+        GTEST_SKIP() << "QCC_COMPILE_CACHE=0 in the environment";
+    setVerbose(false);
+    XTree tree = makeXTree(7);
+    CompilerPipeline cached(tree, PipelineOptions{});
+
+    for (uint64_t t = 0; t < 6; ++t) {
+        Rng rng(deriveStream(0xCA0 + t, 1));
+        Ansatz a = randomProgram(rng);
+        auto p1 = randomParams(a, rng);
+        auto p2 = randomParams(a, rng);
+        CompileResult first = cached.compile(a, p1);
+        CompileResult rebound = cached.compile(a, p2);
+
+        // The rebound compile must equal a from-scratch one.
+        PipelineOptions fresh;
+        fresh.useCache = false;
+        CompilerPipeline uncached(tree, fresh);
+        CompileResult want = uncached.compile(a, p2);
+        ASSERT_EQ(rebound.circuit.size(), want.circuit.size());
+        for (size_t g = 0; g < want.circuit.size(); ++g) {
+            const Gate &x = rebound.circuit.gates()[g];
+            const Gate &y = want.circuit.gates()[g];
+            EXPECT_TRUE(x.kind == y.kind && x.q0 == y.q0 &&
+                        x.q1 == y.q1 && x.angle == y.angle)
+                << "gate " << g << " trial " << t;
+        }
+        const Circuit logical =
+            synthesizeChainCircuit(a, p2, true);
+        EXPECT_TRUE(checkCompiledEquivalence(
+            rebound.circuit, logical, rebound.initialLayout,
+            rebound.finalLayout, 0))
+            << "trial " << t;
+    }
+}
