@@ -8,7 +8,8 @@
  * QCC_JSON. The batched-vs-serial ratio on the gate-level noisy mode
  * is algorithmic (pair-difference suffix sweeps), so it holds even
  * on one core; the statevector modes additionally scale with
- * QCC_THREADS.
+ * QCC_THREADS, drawing their per-task scratch states from the
+ * common/parallel buffer pool. QCC_FULL=1 adds a 14-qubit NH3 row.
  */
 
 #include <chrono>
@@ -16,14 +17,15 @@
 #include <cstdio>
 #include <vector>
 
+#include "ansatz/compression.hh"
 #include "ansatz/uccsd.hh"
+#include "api/registries.hh"
 #include "chem/molecules.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "ferm/hamiltonian.hh"
 #include "sim/noise_model.hh"
-#include "vqe/driver.hh"
 #include "vqe/expectation_engine.hh"
 #include "vqe/gradient.hh"
 
@@ -112,9 +114,13 @@ main()
                         {"speedup", speedup}});
     };
 
-    auto svMake = [&] {
-        return std::make_unique<StatevectorBackend>(ansatz.nQubits);
-    };
+    // Backends come from the registry (no direct construction): the
+    // same factories an ExperimentSpec's backend keys resolve to.
+    const BackendFactoryFn &makeSv =
+        backendRegistry().get("statevector");
+    const BackendFactoryFn &makeDm =
+        backendRegistry().get("density_matrix");
+    auto svMake = [&] { return makeSv({ansatz.nQubits, {}}); };
     auto svEnergy = [&](SimBackend &b, size_t) {
         return ee.energy(b);
     };
@@ -126,10 +132,7 @@ main()
         [&] { serial.gradient(params, svMake, svEnergy); },
         [&] { batched.gradientStatevector(params, svEstimate); });
 
-    auto dmMake = [&] {
-        return std::make_unique<DensityMatrixBackend>(ansatz.nQubits,
-                                                      noise);
-    };
+    auto dmMake = [&] { return makeDm({ansatz.nQubits, noise}); };
     auto dmEnergy = [&](SimBackend &b, size_t) {
         return b.expectation(prob.hamiltonian);
     };
@@ -181,6 +184,54 @@ main()
                     (unsigned long long)shots, err);
         json.row("sampled_shots_" + std::to_string(shots),
                  {{"shots", double(shots)}, {"max_err", err}});
+    }
+
+    // Full mode: a 14-qubit row (NH3, 20%-compressed UCCSD) where
+    // the buffer-pooled per-task statevectors and the thread fan-out
+    // actually have 2^14 amplitudes to chew on. One rep per variant:
+    // the serial baseline replays every prefix from scratch.
+    if (qccbench::fullMode()) {
+        qccbench::rule();
+        std::printf("QCC_FULL: 14-qubit gradient (NH3, 20%% "
+                    "compressed)\n");
+        const auto &bigEntry = benchmarkMolecule("NH3");
+        MolecularProblem big = buildMolecularProblem(
+            bigEntry, bigEntry.equilibriumBond);
+        Ansatz bigFull =
+            buildUccsd(big.nSpatial, big.nElectrons);
+        Ansatz bigAnsatz =
+            compressAnsatz(bigFull, big.hamiltonian, 0.2).ansatz;
+        std::vector<double> bigParams(bigAnsatz.nParams);
+        for (size_t i = 0; i < bigParams.size(); ++i)
+            bigParams[i] = 0.05 * double(i + 1);
+        ExpectationEngine bigEe(big.hamiltonian);
+        ParameterShiftEngine bigBatched(big.hamiltonian, bigAnsatz);
+        ParameterShiftEngine bigSerial(big.hamiltonian, bigAnsatz,
+                                       serialOpts);
+        auto bigEstimate = [&](const Statevector &psi, size_t) {
+            return bigEe.energy(psi);
+        };
+        auto bigMake = [&] {
+            return makeSv({bigAnsatz.nQubits, {}});
+        };
+        auto bigEnergy = [&](SimBackend &b, size_t) {
+            return bigEe.energy(b);
+        };
+        std::printf("%u qubits, %u params, %zu shifted evaluations "
+                    "per gradient\n",
+                    bigAnsatz.nQubits, bigAnsatz.nParams,
+                    bigBatched.numShiftedEvaluations());
+        auto t0 = clock_type::now();
+        bigSerial.gradient(bigParams, bigMake, bigEnergy);
+        const double serialMs = millisSince(t0);
+        t0 = clock_type::now();
+        bigBatched.gradientStatevector(bigParams, bigEstimate);
+        const double batchedMs = millisSince(t0);
+        std::printf("%-10s %12.3f %12.3f %8.2fx\n", "ideal_14q",
+                    serialMs, batchedMs, serialMs / batchedMs);
+        json.row("ideal_14q", {{"serial_ms", serialMs},
+                               {"batched_ms", batchedMs},
+                               {"speedup", serialMs / batchedMs}});
     }
 
     json.write();

@@ -5,16 +5,17 @@
  * chain-synthesized gate/CNOT counts. Runs the real chemistry
  * pipeline (STO-3G -> RHF -> active space) for the qubit counts and
  * the real UCCSD generator for the circuit costs; synthesis goes
- * through the chain-only compiler pipeline, whose per-term fan-out
- * makes the big programs (CH4: 66k gates) compile in parallel.
+ * through the PipelinePresetRegistry's "chain" preset, whose
+ * per-term fan-out makes the big programs (CH4: 66k gates) compile
+ * in parallel.
  */
 
 #include <cstdio>
 
 #include "ansatz/uccsd.hh"
+#include "api/registries.hh"
 #include "bench_util.hh"
 #include "chem/molecules.hh"
-#include "compiler/pipeline.hh"
 #include "ferm/hamiltonian.hh"
 
 using namespace qcc;
@@ -31,9 +32,7 @@ main()
                 "compile");
     rule();
 
-    PipelineOptions o;
-    o.flow = PipelineOptions::Flow::ChainOnly;
-    CompilerPipeline pipe(o);
+    CompilerPipeline pipe(pipelinePresetRegistry().get("chain")());
 
     for (const auto &entry : benchmarkMolecules()) {
         MolecularProblem prob =

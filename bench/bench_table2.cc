@@ -14,10 +14,9 @@
 
 #include "ansatz/compression.hh"
 #include "ansatz/uccsd.hh"
-#include "arch/grid.hh"
+#include "api/experiment.hh"
 #include "bench_util.hh"
 #include "chem/molecules.hh"
-#include "compiler/pipeline.hh"
 #include "ferm/hamiltonian.hh"
 
 using namespace qcc;
@@ -43,20 +42,19 @@ main()
            "(additional CNOTs; SWAP = 3 CNOTs)");
 
     const size_t maxMolecules = fullMode() ? 9 : 6;
-    XTree tree = makeXTree(17);
-    CouplingGraph grid = makeGrid17Q();
+    Device tree = makeDevice("xtree17");
+    Device grid = makeDevice("grid17");
 
-    // All three flows run through the pass-manager pipeline; the MtR
-    // flow's verify pass enforces the coupling constraint (a
-    // violation aborts with the offending pass and gate index).
-    PipelineOptions chainOpts;
-    chainOpts.flow = PipelineOptions::Flow::ChainOnly;
-    CompilerPipeline chainPipe(chainOpts);
-    CompilerPipeline mtrPipe(tree, PipelineOptions{});
-    PipelineOptions sabOpts;
-    sabOpts.flow = PipelineOptions::Flow::Sabre;
-    CompilerPipeline sabTreePipe(tree, sabOpts);
-    CompilerPipeline sabGridPipe(grid, sabOpts);
+    // All three flows run through registry presets on the
+    // pass-manager pipeline; the MtR flow's verify pass enforces the
+    // coupling constraint (a violation aborts with the offending
+    // pass and gate index).
+    const auto &presets = pipelinePresetRegistry();
+    CompilerPipeline chainPipe(presets.get("chain")());
+    CompilerPipeline mtrPipe(*tree.tree, presets.get("mtr")());
+    CompilerPipeline sabTreePipe(*tree.tree, presets.get("sabre")());
+    CompilerPipeline sabGridPipe(*grid.graph,
+                                 presets.get("sabre")());
 
     std::vector<Row> rows;
     double sumMtr = 0, sumSabTree = 0, sumOrig = 0, sumSabGrid = 0;

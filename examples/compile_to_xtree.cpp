@@ -1,13 +1,15 @@
 /**
  * @file
  * Compiler-pipeline walkthrough: take the NH3 UCCSD program at
- * several compression ratios and compile it through three
- * `CompilerPipeline` flows — hierarchical layout + Merge-to-Root on
- * XTree17Q, chain synthesis + SABRE on the same tree, and SABRE on
- * the Grid17Q baseline — a single-molecule slice of the paper's
- * Table II. The per-pass PipelineReport of one compile is printed,
- * the circuit cache is demonstrated by recompiling with fresh
- * parameters, and the compiled circuit is exported to OpenQASM.
+ * several compression ratios and compile it through three registry
+ * presets — "mtr" (hierarchical layout + Merge-to-Root) on XTree17Q,
+ * "sabre" on the same tree, and "sabre" on the Grid17Q baseline — a
+ * single-molecule slice of the paper's Table II. Devices come from
+ * the api makeDevice parser and pipeline configurations from the
+ * PipelinePresetRegistry; the per-pass PipelineReport of one compile
+ * is printed, the circuit cache is demonstrated by recompiling with
+ * fresh parameters, and the compiled circuit is exported to
+ * OpenQASM.
  */
 
 #include <cstdio>
@@ -15,10 +17,8 @@
 
 #include "ansatz/compression.hh"
 #include "ansatz/uccsd.hh"
-#include "arch/grid.hh"
-#include "chem/molecules.hh"
+#include "api/experiment.hh"
 #include "common/logging.hh"
-#include "compiler/pipeline.hh"
 #include "ferm/hamiltonian.hh"
 
 int
@@ -35,20 +35,18 @@ main()
     std::printf("full UCCSD: %u params, %zu Pauli strings\n\n",
                 full.nParams, full.numStrings());
 
-    XTree tree = makeXTree(17);
-    CouplingGraph grid = makeGrid17Q();
+    Device tree = makeDevice("xtree17");
+    Device grid = makeDevice("grid17");
 
-    // One pipeline per flow; every compile below routes through a
-    // PassManager that times each pass and re-checks the coupling
-    // invariant after every mutating stage.
-    PipelineOptions chainOpts;
-    chainOpts.flow = PipelineOptions::Flow::ChainOnly;
-    CompilerPipeline chainPipe(chainOpts);
-    CompilerPipeline mtrPipe(tree, PipelineOptions{});
-    PipelineOptions sabOpts;
-    sabOpts.flow = PipelineOptions::Flow::Sabre;
-    CompilerPipeline sabTreePipe(tree, sabOpts);
-    CompilerPipeline sabGridPipe(grid, sabOpts);
+    // One pipeline per registry preset; every compile below routes
+    // through a PassManager that times each pass and re-checks the
+    // coupling invariant after every mutating stage.
+    const auto &presets = pipelinePresetRegistry();
+    CompilerPipeline chainPipe(presets.get("chain")());
+    CompilerPipeline mtrPipe(*tree.tree, presets.get("mtr")());
+    CompilerPipeline sabTreePipe(*tree.tree, presets.get("sabre")());
+    CompilerPipeline sabGridPipe(*grid.graph,
+                                 presets.get("sabre")());
 
     std::printf("pipeline passes:");
     for (const std::string &name : mtrPipe.passNames())
@@ -80,9 +78,9 @@ main()
     CompressedAnsatz comp =
         compressAnsatz(full, prob.hamiltonian, 0.1);
     std::vector<double> zeros(comp.ansatz.nParams, 0.0);
-    PipelineOptions reportOpts;
+    PipelineOptions reportOpts = presets.get("mtr")();
     reportOpts.useCache = false;
-    CompilerPipeline reportPipe(tree, reportOpts);
+    CompilerPipeline reportPipe(*tree.tree, reportOpts);
     CompileResult mtr = reportPipe.compile(comp.ansatz, zeros);
     std::printf("\nPipelineReport for NH3@10%% (MtR flow):\n%s",
                 mtr.report.str().c_str());

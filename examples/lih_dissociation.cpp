@@ -1,21 +1,16 @@
 /**
  * @file
  * Dissociation-curve study (the Figure 3 workflow): sweep the LiH
- * bond length, at each point build the Hamiltonian, run VQE with the
- * 50%-compressed ansatz, and print the energy landscape next to the
+ * bond length through the Experiment facade — one spec per point,
+ * 50%-compressed UCCSD — and print the energy landscape next to the
  * exact ground state and the Hartree-Fock reference. The minimum of
  * the printed curve is the predicted equilibrium bond length.
  */
 
 #include <cstdio>
 
-#include "ansatz/compression.hh"
-#include "ansatz/uccsd.hh"
-#include "chem/molecules.hh"
+#include "api/experiment.hh"
 #include "common/logging.hh"
-#include "ferm/hamiltonian.hh"
-#include "sim/lanczos.hh"
-#include "vqe/vqe.hh"
 
 int
 main()
@@ -28,22 +23,17 @@ main()
     std::printf("%-8s %14s %14s %14s %10s\n", "bond(A)", "HF",
                 "VQE(50%)", "exact", "iters");
 
+    ExperimentBuilder point = Experiment::builder();
+    point.molecule("LiH").compression(0.5);
+
     double bestBond = 0, bestEnergy = 1e9;
-    const auto &entry = benchmarkMolecule("LiH");
     for (double bond = 1.0; bond <= 2.6 + 1e-9; bond += 0.2) {
-        MolecularProblem prob = buildMolecularProblem(entry, bond);
-        double exact = lanczosGroundEnergy(prob.hamiltonian);
-
-        Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
-        CompressedAnsatz comp =
-            compressAnsatz(full, prob.hamiltonian, 0.5);
-        VqeResult res = runVqe(prob.hamiltonian, comp.ansatz);
-
+        ExperimentResult res = point.bond(bond).build().run();
         std::printf("%-8.2f %14.6f %14.6f %14.6f %10d\n", bond,
-                    prob.hartreeFockEnergy, res.energy, exact,
-                    res.iterations);
-        if (res.energy < bestEnergy) {
-            bestEnergy = res.energy;
+                    res.hartreeFock, res.energy(), res.fci,
+                    res.vqe.iterations);
+        if (res.energy() < bestEnergy) {
+            bestEnergy = res.energy();
             bestBond = bond;
         }
     }

@@ -6,21 +6,18 @@
  * density-matrix simulator. More parameters help accuracy until the
  * extra CNOT noise masks them — the paper's "sweet spot" effect.
  *
- * Both phases run through the pluggable SimBackend interface: the
- * clean optimization on a StatevectorBackend, the noisy re-evaluation
- * on one DensityMatrixBackend per error rate.
+ * The clean optimizations run through the Experiment facade (which
+ * hands back the Hamiltonian, ansatz, and converged parameters for
+ * composition); the noisy re-evaluations run on backends created
+ * from the BackendRegistry — no hand-wired simulator construction.
  */
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
-#include "ansatz/compression.hh"
-#include "ansatz/uccsd.hh"
-#include "chem/molecules.hh"
+#include "api/experiment.hh"
 #include "common/logging.hh"
-#include "ferm/hamiltonian.hh"
-#include "sim/backend.hh"
-#include "sim/lanczos.hh"
 #include "vqe/vqe.hh"
 
 int
@@ -31,44 +28,47 @@ main()
 
     std::printf("== LiH noise trade-off: compression ratio vs CNOT "
                 "error ==\n\n");
-    const auto &entry = benchmarkMolecule("LiH");
-    MolecularProblem prob = buildMolecularProblem(entry, 1.6);
-    double exact = lanczosGroundEnergy(prob.hamiltonian);
-    Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
+
+    ExperimentBuilder clean = Experiment::builder();
+    clean.molecule("LiH").bond(1.6);
+    const std::vector<double> ratios = {0.1, 0.3, 0.5, 0.7, 0.9};
+    const std::vector<double> errorRates = {0.0, 1e-4, 1e-3, 5e-3};
+
+    // One clean optimization per ratio through the facade.
+    std::vector<ExperimentResult> results;
+    for (double ratio : ratios)
+        results.push_back(clean.compression(ratio).build().run());
+    const double exact = results.front().fci;
     std::printf("exact ground state: %.6f Ha\n\n", exact);
 
-    std::printf("%-7s", "ratio");
-    const std::vector<double> errorRates = {0.0, 1e-4, 1e-3, 5e-3};
-    for (double p : errorRates)
-        std::printf("   err p=%-7.0e", p);
-    std::printf("\n");
-
-    // One backend per execution model, reused across the whole sweep
-    // (p = 0 reuses the clean statevector energy, so no density
-    // matrix is allocated for it).
-    StatevectorBackend ideal(prob.nQubits);
-    std::vector<std::unique_ptr<DensityMatrixBackend>> noisy(
+    // One reusable registry-built backend per error rate (p = 0
+    // reuses the clean statevector energy, so no density matrix is
+    // allocated for it).
+    const BackendFactoryFn &makeDm =
+        backendRegistry().get("density_matrix");
+    std::vector<std::unique_ptr<SimBackend>> noisy(
         errorRates.size());
     for (size_t pi = 0; pi < errorRates.size(); ++pi) {
         if (errorRates[pi] == 0.0)
             continue;
         NoiseModel nm;
         nm.cnotDepolarizing = errorRates[pi];
-        noisy[pi] =
-            std::make_unique<DensityMatrixBackend>(prob.nQubits, nm);
+        noisy[pi] = makeDm({results.front().nQubits, nm});
     }
 
-    for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-        CompressedAnsatz comp =
-            compressAnsatz(full, prob.hamiltonian, ratio);
-        VqeResult clean = runVqe(ideal, prob.hamiltonian, comp.ansatz);
+    std::printf("%-7s", "ratio");
+    for (double p : errorRates)
+        std::printf("   err p=%-7.0e", p);
+    std::printf("\n");
 
-        std::printf("%-6.0f%%", 100 * ratio);
+    for (size_t ri = 0; ri < ratios.size(); ++ri) {
+        const ExperimentResult &res = results[ri];
+        std::printf("%-6.0f%%", 100 * ratios[ri]);
         for (size_t pi = 0; pi < errorRates.size(); ++pi) {
             double e = errorRates[pi] == 0.0
-                ? clean.energy
-                : ansatzEnergy(*noisy[pi], prob.hamiltonian,
-                               comp.ansatz, clean.params);
+                ? res.energy()
+                : ansatzEnergy(*noisy[pi], res.hamiltonian,
+                               res.ansatz, res.vqe.params);
             std::printf("   %12.5f", e - exact);
         }
         std::printf("\n");

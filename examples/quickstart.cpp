@@ -1,22 +1,18 @@
 /**
  * @file
- * Quickstart: end-to-end H2 ground-state estimation with the full
- * co-optimized stack — build the molecular Hamiltonian from scratch,
- * generate and compress the UCCSD ansatz, run VQE, and compile the
- * program onto an X-Tree processor with Merge-to-Root.
+ * Quickstart: end-to-end H2 ground-state estimation through the
+ * qcc::Experiment facade — one spec names the molecule, the ansatz
+ * compression, the evaluation mode, and the compilation target, and
+ * run() assembles the whole co-optimized stack (STO-3G -> RHF ->
+ * Jordan-Wigner -> UCCSD -> VQE -> Merge-to-Root on an X-Tree).
+ * With QCC_JSON set, the structured records land in
+ * RESULT_quickstart*.json.
  */
 
 #include <cstdio>
 
-#include "ansatz/compression.hh"
-#include "ansatz/uccsd.hh"
+#include "api/experiment.hh"
 #include "common/logging.hh"
-#include "chem/molecules.hh"
-#include "compiler/chain_synthesis.hh"
-#include "compiler/merge_to_root.hh"
-#include "ferm/hamiltonian.hh"
-#include "sim/lanczos.hh"
-#include "vqe/vqe.hh"
 
 int
 main()
@@ -26,44 +22,44 @@ main()
 
     std::printf("== qcc quickstart: H2 at 0.74 Angstrom ==\n\n");
 
-    // 1. Chemistry front end: geometry -> STO-3G -> RHF -> qubit H.
-    const auto &entry = benchmarkMolecule("H2");
-    MolecularProblem prob = buildMolecularProblem(entry, 0.74);
-    std::printf("qubits: %u   Hamiltonian terms: %zu\n", prob.nQubits,
-                prob.hamiltonian.numTerms());
-    std::printf("Hartree-Fock energy: %+.6f Ha\n",
-                prob.hartreeFockEnergy);
-
-    // 2. Exact ground state for reference.
-    double exact = lanczosGroundEnergy(prob.hamiltonian);
-    std::printf("exact ground state:  %+.6f Ha\n", exact);
-
-    // 3. Full UCCSD ansatz and VQE.
-    Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
-    std::printf("\nUCCSD: %u parameters, %zu Pauli strings\n",
-                full.nParams, full.numStrings());
-    VqeResult res = runVqe(prob.hamiltonian, full);
+    // Full UCCSD ansatz, ideal evaluation, compiled onto XTree5Q.
+    ExperimentResult res = Experiment::builder()
+                               .molecule("H2")
+                               .bond(0.74)
+                               .pipeline("mtr")
+                               .architecture("xtree5")
+                               .build()
+                               .run();
+    std::printf("qubits: %u   Hamiltonian terms: %zu   "
+                "measurement settings: %zu\n",
+                res.nQubits, res.hamiltonianTerms,
+                res.measurementSettings);
+    std::printf("Hartree-Fock energy: %+.6f Ha\n", res.hartreeFock);
+    std::printf("exact ground state:  %+.6f Ha\n", res.fci);
+    std::printf("\nUCCSD: %u parameters\n", res.nParams);
     std::printf("VQE energy:          %+.6f Ha  (%d iterations)\n",
-                res.energy, res.iterations);
+                res.energy(), res.vqe.iterations);
     std::printf("error vs exact:      %.2e Ha\n",
-                res.energy - exact);
+                res.energy() - res.fci);
+    res.write("quickstart");
 
-    // 4. Compress the ansatz with the Hamiltonian-guided importance
-    //    estimate and re-run.
-    CompressedAnsatz comp =
-        compressAnsatz(full, prob.hamiltonian, 0.67);
-    VqeResult cres = runVqe(prob.hamiltonian, comp.ansatz);
+    // Compress the ansatz with the Hamiltonian-guided importance
+    // estimate and re-run the same spec.
+    ExperimentResult cres = Experiment::builder()
+                                .molecule("H2")
+                                .bond(0.74)
+                                .compression(0.67)
+                                .pipeline("mtr")
+                                .architecture("xtree5")
+                                .build()
+                                .run();
     std::printf("\ncompressed to %u params: %+.6f Ha "
                 "(%d iterations)\n",
-                comp.ansatz.nParams, cres.energy, cres.iterations);
-
-    // 5. Compile onto a 5-qubit X-Tree with Merge-to-Root.
-    XTree tree = makeXTree(5);
-    MtrResult mtr = mergeToRootCompile(comp.ansatz, cres.params, tree);
-    Circuit chain = synthesizeChainCircuit(comp.ansatz, cres.params);
+                cres.nParams, cres.energy(), cres.vqe.iterations);
     std::printf("\ncompiled to XTree5Q: %zu gates, %zu CNOTs "
-                "(chain plan: %zu CNOTs, overhead %zu)\n",
-                mtr.circuit.totalGates(), mtr.circuit.cnotCount(),
-                chain.cnotCount(), mtr.overheadCnots());
+                "(mapping overhead %zu CNOTs)\n",
+                cres.compiled.gates, cres.compiled.cnots,
+                cres.compiled.overheadCnots);
+    cres.write("quickstart_compressed");
     return 0;
 }

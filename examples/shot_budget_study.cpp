@@ -1,11 +1,12 @@
 /**
  * @file
  * Measurement-cost study: how many shots does a sampled VQE need?
- * Runs the H2 ground-state problem through the VqeDriver in sampled
- * mode across a sweep of per-evaluation shot budgets, comparing each
- * converged energy against the analytic (infinite-shot) optimum and
- * printing the total measurement bill. With QCC_JSON set, each run's
- * per-iteration trace lands in TRACE_shot_budget_<shots>.json.
+ * Runs the H2 ground-state problem through the Experiment facade in
+ * sampled mode across a sweep of per-evaluation shot budgets,
+ * comparing each converged energy against the analytic
+ * (infinite-shot) optimum and printing the total measurement bill.
+ * With QCC_JSON set, each run's structured record (spec, energies,
+ * full per-iteration trace) lands in RESULT_shot_budget_<shots>.json.
  *
  * Reproducible end to end from QCC_SEED; QCC_SHOTS overrides the
  * default budget of the final column.
@@ -13,14 +14,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
-#include "ansatz/uccsd.hh"
-#include "chem/molecules.hh"
+#include "api/experiment.hh"
 #include "common/logging.hh"
-#include "ferm/hamiltonian.hh"
-#include "sim/lanczos.hh"
-#include "vqe/driver.hh"
-#include "vqe/vqe.hh"
 
 int
 main()
@@ -32,33 +29,32 @@ main()
     std::printf("(seed %llu; chemical accuracy is 1.6 mHa)\n\n",
                 (unsigned long long)globalSeed());
 
-    MolecularProblem prob =
-        buildMolecularProblem(benchmarkMolecule("H2"), 0.74);
-    Ansatz ansatz = buildUccsd(prob.nSpatial, prob.nElectrons);
-    const double exact = lanczosGroundEnergy(prob.hamiltonian);
-    VqeResult analytic = runVqe(prob.hamiltonian, ansatz);
+    ExperimentResult analytic = Experiment::builder()
+                                    .molecule("H2")
+                                    .bond(0.74)
+                                    .build()
+                                    .run();
     std::printf("analytic VQE: %.6f Ha (FCI %.6f)\n\n",
-                analytic.energy, exact);
+                analytic.energy(), analytic.fci);
+
+    ExperimentBuilder sampled = Experiment::builder();
+    sampled.molecule("H2").bond(0.74).reference(false);
+    sampled.mode("sampled").optimizer("spsa").spsaIter(200);
 
     std::printf("%-10s %12s %12s %12s %10s\n", "shots/eval",
                 "energy", "err (mHa)", "total shots", "sigma");
     for (uint64_t shots :
          {uint64_t{1024}, uint64_t{8192}, uint64_t{65536},
           SamplingOptions::defaultShots() * 16}) {
-        VqeDriverOptions o;
-        o.mode = EvalMode::Sampled;
-        o.method = VqeDriverOptions::Method::Spsa;
-        o.spsaIter = 200;
-        o.sampling.shots = shots;
-        VqeDriver driver(prob.hamiltonian, ansatz, o);
-        VqeResult res = driver.run();
-        const auto &last = driver.trace().points.back();
+        ExperimentResult res =
+            sampled.shots(shots).build().run();
+        const auto &last = res.trace.points.back();
         std::printf("%-10llu %12.6f %12.3f %12llu %10.2e\n",
-                    (unsigned long long)shots, res.energy,
-                    1e3 * (res.energy - analytic.energy),
-                    (unsigned long long)driver.shotsSpent(),
+                    (unsigned long long)shots, res.energy(),
+                    1e3 * (res.energy() - analytic.energy()),
+                    (unsigned long long)res.shots,
                     std::sqrt(last.variance));
-        driver.writeTrace("shot_budget_" + std::to_string(shots));
+        res.write("shot_budget_" + std::to_string(shots));
     }
 
     std::printf("\nshot noise shrinks as 1/sqrt(shots); past the "

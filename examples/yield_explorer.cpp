@@ -4,13 +4,15 @@
  * of increasing size, allocate frequencies, simulate fabrication
  * yield, and print coupler counts — the Section IV argument that
  * N-1-coupler trees scale to larger processors at usable yield
- * while grids collapse.
+ * while grids collapse. Devices are named with the same
+ * architecture keys ExperimentSpecs use ("xtree<N>", "grid17",
+ * "grid<R>x<C>") and built through the api makeDevice parser.
  */
 
 #include <cstdio>
+#include <string>
 
-#include "arch/grid.hh"
-#include "arch/xtree.hh"
+#include "api/experiment.hh"
 #include "arch/yield.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -29,30 +31,16 @@ main()
 
     std::printf("%-14s %8s %9s %10s\n", "device", "qubits",
                 "couplers", "yield");
-    for (unsigned n : {5u, 8u, 17u, 26u}) {
-        XTree t = makeXTree(n);
-        auto f = allocateFrequencies(t.graph);
-        Rng rng(deriveSeed(1)); // QCC_SEED reproducible
-        double y = simulateYield(t.graph, f, sigma, samples, rng);
-        std::printf("XTree%-9u %8u %9zu %10.4f\n", n, n,
-                    t.graph.numEdges(), y);
-    }
-    {
-        CouplingGraph g = makeGrid17Q();
+    for (const char *key :
+         {"xtree5", "xtree8", "xtree17", "xtree26", "grid17",
+          "grid3x6", "grid4x5"}) {
+        Device dev = makeDevice(key);
+        const CouplingGraph &g = *dev.graph;
         auto f = allocateFrequencies(g);
         Rng rng(deriveSeed(1)); // QCC_SEED reproducible
         double y = simulateYield(g, f, sigma, samples, rng);
-        std::printf("%-14s %8u %9zu %10.4f\n", "Grid17Q", 17,
-                    g.numEdges(), y);
-    }
-    for (unsigned rows : {3u, 4u}) {
-        unsigned cols = rows == 3 ? 6 : 5;
-        CouplingGraph g = makeGrid(rows, cols);
-        auto f = allocateFrequencies(g);
-        Rng rng(deriveSeed(1)); // QCC_SEED reproducible
-        double y = simulateYield(g, f, sigma, samples, rng);
-        std::printf("Grid%ux%-9u %8u %9zu %10.4f\n", rows, cols,
-                    rows * cols, g.numEdges(), y);
+        std::printf("%-14s %8u %9zu %10.4f\n", dev.name.c_str(),
+                    g.numQubits(), g.numEdges(), y);
     }
 
     std::printf("\ntrees keep the minimum N-1 couplers, so yield "

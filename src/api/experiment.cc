@@ -1,0 +1,431 @@
+#include "api/experiment.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "ansatz/compression.hh"
+#include "common/logging.hh"
+#include "sim/lanczos.hh"
+#include "vqe/estimation.hh"
+
+namespace qcc {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double
+millisSince(clock_type::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               clock_type::now() - t0)
+        .count();
+}
+
+const BenchmarkMolecule &
+catalogEntry(const std::string &name)
+{
+    for (const auto &entry : benchmarkMolecules())
+        if (entry.name == name)
+            return entry;
+    std::string known;
+    for (const auto &entry : benchmarkMolecules())
+        known += (known.empty() ? "" : ", ") + entry.name;
+    throw SpecError("molecule",
+                    "unknown molecule '" + name +
+                        "'; catalog: " + known);
+}
+
+/** Largest device size any architecture key may name. */
+constexpr long kMaxDeviceQubits = 4096;
+
+/**
+ * Parse the digits of `s` after `prefix`; -1 when not that shape or
+ * outside (0, kMaxDeviceQubits] — a wrapped-around size must reject
+ * the key, not build a different device.
+ */
+long
+suffixNumber(const std::string &s, const std::string &prefix)
+{
+    if (s.size() <= prefix.size() ||
+        s.compare(0, prefix.size(), prefix) != 0)
+        return -1;
+    char *end = nullptr;
+    const char *digits = s.c_str() + prefix.size();
+    const long v = std::strtol(digits, &end, 10);
+    if (end == digits || *end != '\0' || v <= 0 ||
+        v > kMaxDeviceQubits)
+        return -1;
+    return v;
+}
+
+} // namespace
+
+Device
+makeDevice(const std::string &architecture)
+{
+    Device dev;
+    dev.name = architecture;
+    if (long n = suffixNumber(architecture, "xtree"); n > 0) {
+        dev.tree = makeXTree(unsigned(n));
+        dev.graph = dev.tree->graph;
+        return dev;
+    }
+    if (architecture == "grid17") {
+        dev.graph = makeGrid17Q();
+        return dev;
+    }
+    if (architecture.compare(0, 4, "grid") == 0) {
+        const size_t x = architecture.find('x', 4);
+        if (x != std::string::npos) {
+            const long rows =
+                suffixNumber(architecture.substr(0, x), "grid");
+            const long cols =
+                suffixNumber(architecture.substr(x), "x");
+            // The cap is on the device, not each dimension.
+            if (rows > 0 && cols > 0 &&
+                rows * cols <= kMaxDeviceQubits) {
+                dev.graph = makeGrid(unsigned(rows), unsigned(cols));
+                return dev;
+            }
+        }
+    }
+    throw SpecError("architecture",
+                    "unknown device '" + architecture +
+                        "'; expected xtree<N>, grid17, or "
+                        "grid<R>x<C>");
+}
+
+Experiment::Experiment(ExperimentSpec s) : resolved(std::move(s))
+{
+    // Resolve every key now so a bad spec fails at construction with
+    // the valid choices, not mid-run.
+    catalogEntry(resolved.molecule);
+    estimationRegistry().get(resolved.mode);
+    optimizerRegistry().get(resolved.optimizer);
+    groupingRegistry().get(resolved.grouping);
+    if (resolved.compression <= 0.0)
+        throw SpecError("compression", "ratio must be positive");
+    if (resolved.basisNg < 1)
+        throw SpecError("basis_ng", "contraction count must be >= 1");
+    if (!resolved.pipeline.empty()) {
+        const PipelineOptions po =
+            pipelinePresetRegistry().get(resolved.pipeline)();
+        const bool routed =
+            po.flow != PipelineOptions::Flow::ChainOnly;
+        if (resolved.architecture.empty()) {
+            if (routed)
+                throw SpecError("architecture",
+                                "pipeline preset '" +
+                                    resolved.pipeline +
+                                    "' routes onto a device; name "
+                                    "one (xtree<N>, grid17, "
+                                    "grid<R>x<C>)");
+        } else {
+            Device dev = makeDevice(resolved.architecture);
+            if (po.flow == PipelineOptions::Flow::MergeToRoot &&
+                !dev.tree)
+                throw SpecError("architecture",
+                                "Merge-to-Root needs a tree device "
+                                "(xtree<N>), got '" +
+                                    resolved.architecture + "'");
+        }
+    } else if (!resolved.architecture.empty()) {
+        makeDevice(resolved.architecture); // validate anyway
+    }
+}
+
+ExperimentBuilder
+Experiment::builder()
+{
+    return ExperimentBuilder();
+}
+
+ExperimentResult
+Experiment::run() const
+{
+    const auto t0 = clock_type::now();
+    ExperimentResult out;
+    out.spec = resolved;
+
+    // ---- chemistry + ansatz -------------------------------------
+    const BenchmarkMolecule &entry = catalogEntry(resolved.molecule);
+    const double bond =
+        resolved.bond > 0.0 ? resolved.bond : entry.equilibriumBond;
+    out.spec.bond = bond; // resolved for exact replay
+    MolecularProblem prob =
+        buildMolecularProblem(entry, bond, resolved.basisNg);
+    Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
+    out.fullParams = full.nParams;
+    Ansatz ansatz;
+    if (resolved.compression < 1.0)
+        ansatz = compressAnsatz(full, prob.hamiltonian,
+                                resolved.compression)
+                     .ansatz;
+    else
+        ansatz = std::move(full);
+
+    out.nQubits = prob.nQubits;
+    out.nParams = ansatz.nParams;
+    out.hamiltonianTerms = prob.hamiltonian.numTerms();
+    out.hartreeFock = prob.hartreeFockEnergy;
+    const GroupingFn &grouping =
+        groupingRegistry().get(resolved.grouping);
+    out.measurementSettings = grouping(prob.hamiltonian).size();
+    if (resolved.reference) {
+        out.fci = lanczosGroundEnergy(prob.hamiltonian);
+        out.haveFci = true;
+    }
+    out.buildMillis = millisSince(t0);
+
+    // ---- VQE through the estimation-strategy seam ---------------
+    const auto tVqe = clock_type::now();
+    VqeDriverOptions opts;
+    opts.optimizer = optimizerRegistry().get(resolved.optimizer)();
+    opts.noise.cnotDepolarizing = resolved.cnotError;
+    opts.noise.singleQubitDepolarizing = resolved.singleQubitError;
+    if (resolved.shots > 0)
+        opts.sampling.shots = resolved.shots;
+    opts.sampling.grouping = grouping;
+    opts.maxIter = resolved.maxIter;
+    opts.spsaIter = resolved.spsaIter;
+    if (resolved.seed != 0)
+        opts.seed = resolved.seed;
+    out.spec.shots = opts.sampling.shots;
+    out.spec.seed = opts.seed;
+
+    VqeDriver driver(
+        prob.hamiltonian, ansatz, opts,
+        makeEstimationStrategy(
+            resolved.mode, EstimationConfig{&prob.hamiltonian,
+                                            opts.noise, opts.sampling,
+                                            grouping}));
+    out.vqe = driver.run();
+    out.trace = driver.trace();
+    out.shots = driver.shotsSpent();
+    out.vqeMillis = millisSince(tVqe);
+
+    // ---- optional compile phase ---------------------------------
+    if (!resolved.pipeline.empty()) {
+        const auto tCompile = clock_type::now();
+        const PipelineOptions po =
+            pipelinePresetRegistry().get(resolved.pipeline)();
+        CompileResult compiled;
+        if (po.flow == PipelineOptions::Flow::ChainOnly) {
+            compiled = CompilerPipeline(po).compile(ansatz,
+                                                    out.vqe.params);
+        } else {
+            Device dev = makeDevice(resolved.architecture);
+            if (dev.tree)
+                compiled = CompilerPipeline(*dev.tree, po)
+                               .compile(ansatz, out.vqe.params);
+            else
+                compiled = CompilerPipeline(*dev.graph, po)
+                               .compile(ansatz, out.vqe.params);
+        }
+        out.compiled.present = true;
+        out.compiled.pipeline = resolved.pipeline;
+        out.compiled.device = resolved.architecture;
+        out.compiled.gates = compiled.circuit.totalGates();
+        out.compiled.cnots = compiled.circuit.cnotCount();
+        out.compiled.depth = compiled.circuit.depth();
+        out.compiled.swaps = compiled.swapCount;
+        out.compiled.overheadCnots = compiled.overheadCnots();
+        out.compiled.millis = compiled.report.totalMillis;
+        out.compiled.cacheHit = compiled.report.cacheHit;
+        out.compileMillis = millisSince(tCompile);
+    }
+
+    out.hamiltonian = std::move(prob.hamiltonian);
+    out.ansatz = std::move(ansatz);
+    out.totalMillis = millisSince(t0);
+    return out;
+}
+
+std::string
+ExperimentResult::json() const
+{
+    std::string specDoc = spec.json();
+    while (!specDoc.empty() && specDoc.back() == '\n')
+        specDoc.pop_back();
+    std::string traceDoc = trace.json();
+    while (!traceDoc.empty() && traceDoc.back() == '\n')
+        traceDoc.pop_back();
+
+    std::string out = "{\n\"spec\": " + specDoc + ",\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"n_qubits\": %u,\n\"n_params\": %u,\n"
+                  "\"full_params\": %u,\n"
+                  "\"hamiltonian_terms\": %zu,\n"
+                  "\"measurement_settings\": %zu,\n",
+                  nQubits, nParams, fullParams, hamiltonianTerms,
+                  measurementSettings);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"hartree_fock\": %.17g,\n\"fci\": %.17g,\n"
+                  "\"have_fci\": %s,\n\"energy\": %.17g,\n"
+                  "\"iterations\": %d,\n\"evals\": %d,\n"
+                  "\"converged\": %s,\n\"shots\": %llu,\n",
+                  hartreeFock, fci, haveFci ? "true" : "false",
+                  vqe.energy, vqe.iterations, vqe.evals,
+                  vqe.converged ? "true" : "false",
+                  (unsigned long long)shots);
+    out += buf;
+    if (compiled.present) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "\"compiled\": {\"pipeline\": \"%s\", "
+            "\"device\": \"%s\", \"gates\": %zu, \"cnots\": %zu, "
+            "\"depth\": %zu, \"swaps\": %zu, "
+            "\"overhead_cnots\": %zu, \"millis\": %.6g, "
+            "\"cache_hit\": %s},\n",
+            compiled.pipeline.c_str(), compiled.device.c_str(),
+            compiled.gates, compiled.cnots, compiled.depth,
+            compiled.swaps, compiled.overheadCnots, compiled.millis,
+            compiled.cacheHit ? "true" : "false");
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\"timing_ms\": {\"build\": %.6g, \"vqe\": %.6g, "
+                  "\"compile\": %.6g, \"total\": %.6g},\n",
+                  buildMillis, vqeMillis, compileMillis, totalMillis);
+    out += buf;
+    out += "\"trace\": " + traceDoc + "\n}\n";
+    return out;
+}
+
+std::string
+ExperimentResult::write(const std::string &name) const
+{
+    const std::string path = qccJsonPath("RESULT_" + name + ".json");
+    if (path.empty())
+        return {};
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("ExperimentResult::write: cannot write " + path);
+        return {};
+    }
+    const std::string doc = json();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+// ------------------------------------------------------- builder
+
+ExperimentBuilder &
+ExperimentBuilder::molecule(const std::string &name)
+{
+    draft.molecule = name;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::bond(double angstrom)
+{
+    draft.bond = angstrom;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::basisNg(int n)
+{
+    draft.basisNg = n;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::compression(double ratio)
+{
+    draft.compression = ratio;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::grouping(const std::string &key)
+{
+    draft.grouping = key;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::mode(const std::string &key)
+{
+    draft.mode = key;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::optimizer(const std::string &key)
+{
+    draft.optimizer = key;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::pipeline(const std::string &preset)
+{
+    draft.pipeline = preset;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::architecture(const std::string &key)
+{
+    draft.architecture = key;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::noise(double cnot_error, double single_qubit_error)
+{
+    draft.cnotError = cnot_error;
+    draft.singleQubitError = single_qubit_error;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::shots(uint64_t n)
+{
+    draft.shots = n;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::seed(uint64_t s)
+{
+    draft.seed = s;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::maxIter(int n)
+{
+    draft.maxIter = n;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::spsaIter(int n)
+{
+    draft.spsaIter = n;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::reference(bool compute)
+{
+    draft.reference = compute;
+    return *this;
+}
+
+Experiment
+ExperimentBuilder::build() const
+{
+    return Experiment(draft);
+}
+
+} // namespace qcc

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * qcc::Experiment — the spec-driven facade over the whole
+ * co-optimized flow. One ExperimentSpec (api/spec.hh) names every
+ * choice by registry key; Experiment::run() assembles the stack —
+ * molecule -> active space -> Jordan-Wigner -> grouped Pauli
+ * Hamiltonian -> (compressed) UCCSD -> VQE through an estimation
+ * strategy -> optional X-tree/grid compilation — and returns a
+ * structured ExperimentResult carrying the energies, the full VQE
+ * trace, the pipeline report summary, and phase timings, with JSON
+ * serialization under the same QCC_JSON convention as the TRACE and
+ * BENCH outputs (RESULT_<name>.json).
+ *
+ * ExperimentBuilder is the fluent front end:
+ *
+ *   ExperimentResult r = Experiment::builder()
+ *       .molecule("H2").bond(0.74)
+ *       .mode("noisy_sampled").optimizer("spsa").shots(65536)
+ *       .build().run();
+ *
+ * Spec validation resolves every registry key up front; unknown keys
+ * throw RegistryError listing the registered names, unknown
+ * molecules/architectures throw SpecError naming the valid choices.
+ */
+
+#ifndef QCC_API_EXPERIMENT_HH
+#define QCC_API_EXPERIMENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ansatz/uccsd.hh"
+#include "api/registries.hh"
+#include "api/spec.hh"
+#include "arch/grid.hh"
+#include "arch/xtree.hh"
+#include "ferm/hamiltonian.hh"
+#include "vqe/driver.hh"
+
+namespace qcc {
+
+/**
+ * A named target device parsed from a spec architecture key:
+ * "xtree<N>" (X-Tree on N qubits), "grid17" (the paper's 17-qubit
+ * grid), or "grid<R>x<C>". Tree devices carry both views; grids
+ * carry only the coupling graph.
+ */
+struct Device
+{
+    std::string name;
+    std::optional<XTree> tree;
+    std::optional<CouplingGraph> graph;
+};
+
+/** Parse an architecture key; throws SpecError when malformed. */
+Device makeDevice(const std::string &architecture);
+
+/** Compile-phase summary (present when the spec names a pipeline). */
+struct CompiledStats
+{
+    bool present = false;
+    std::string pipeline; ///< preset key
+    std::string device;   ///< architecture key ("" for chain-only)
+    size_t gates = 0;
+    size_t cnots = 0;
+    size_t depth = 0;
+    size_t swaps = 0;
+    size_t overheadCnots = 0; ///< 3 per SWAP (paper convention)
+    double millis = 0.0;
+    bool cacheHit = false;
+};
+
+/** Structured record of one Experiment::run(). */
+struct ExperimentResult
+{
+    ExperimentSpec spec; ///< the resolved spec that produced this
+
+    unsigned nQubits = 0;
+    unsigned nParams = 0;        ///< ansatz parameters actually run
+    unsigned fullParams = 0;     ///< uncompressed UCCSD parameters
+    size_t hamiltonianTerms = 0;
+    size_t measurementSettings = 0; ///< grouped family count
+
+    double hartreeFock = 0.0;
+    double fci = 0.0;       ///< Lanczos reference (when computed)
+    bool haveFci = false;
+
+    VqeResult vqe;          ///< converged energy and parameters
+    VqeTrace trace;         ///< full per-point run record
+    uint64_t shots = 0;     ///< total measurement bill
+
+    CompiledStats compiled;
+
+    double buildMillis = 0.0;   ///< chemistry + ansatz phase
+    double vqeMillis = 0.0;
+    double compileMillis = 0.0;
+    double totalMillis = 0.0;
+
+    /**
+     * In-memory handles for composition (noisy re-evaluation,
+     * recompilation, ...); not serialized.
+     */
+    PauliSum hamiltonian;
+    Ansatz ansatz;
+
+    /** Converged energy (the headline number). */
+    double energy() const { return vqe.energy; }
+
+    /** Full JSON document: spec, metrics, timings, and the trace. */
+    std::string json() const;
+
+    /**
+     * Write json() as RESULT_<name>.json under the QCC_JSON
+     * convention; returns the path written ("" when disabled).
+     */
+    std::string write(const std::string &name) const;
+};
+
+class ExperimentBuilder;
+
+/** A validated, runnable experiment. */
+class Experiment
+{
+  public:
+    /**
+     * Validate `spec` and resolve every registry key; throws
+     * RegistryError/SpecError with the valid choices on any unknown
+     * name.
+     */
+    explicit Experiment(ExperimentSpec spec);
+
+    /** Fluent spec construction. */
+    static ExperimentBuilder builder();
+
+    const ExperimentSpec &spec() const { return resolved; }
+
+    /** Execute the full flow described by the spec. */
+    ExperimentResult run() const;
+
+  private:
+    ExperimentSpec resolved;
+};
+
+/** Fluent ExperimentSpec assembly; build() validates. */
+class ExperimentBuilder
+{
+  public:
+    ExperimentBuilder &molecule(const std::string &name);
+    ExperimentBuilder &bond(double angstrom);
+    ExperimentBuilder &basisNg(int n);
+    ExperimentBuilder &compression(double ratio);
+    ExperimentBuilder &grouping(const std::string &key);
+    ExperimentBuilder &mode(const std::string &key);
+    ExperimentBuilder &optimizer(const std::string &key);
+    ExperimentBuilder &pipeline(const std::string &preset);
+    ExperimentBuilder &architecture(const std::string &key);
+    ExperimentBuilder &noise(double cnot_error,
+                             double single_qubit_error = 0.0);
+    ExperimentBuilder &shots(uint64_t n);
+    ExperimentBuilder &seed(uint64_t s);
+    ExperimentBuilder &maxIter(int n);
+    ExperimentBuilder &spsaIter(int n);
+    ExperimentBuilder &reference(bool compute);
+
+    const ExperimentSpec &spec() const { return draft; }
+
+    /** Validate and freeze into a runnable Experiment. */
+    Experiment build() const;
+
+  private:
+    ExperimentSpec draft;
+};
+
+} // namespace qcc
+
+#endif // QCC_API_EXPERIMENT_HH

@@ -1,0 +1,256 @@
+#include "api/spec.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qcc {
+
+namespace {
+
+void
+appendString(std::string &out, const char *key,
+             const std::string &value, bool last = false)
+{
+    out += "  \"";
+    out += key;
+    out += "\": \"";
+    // Spec strings are registry keys / catalog names; escape the two
+    // characters that could break the document anyway.
+    for (char c : value) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += last ? "\"\n" : "\",\n";
+}
+
+void
+appendDouble(std::string &out, const char *key, double value)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.17g,\n", key,
+                  value);
+    out += buf;
+}
+
+void
+appendUint(std::string &out, const char *key, uint64_t value)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %llu,\n", key,
+                  (unsigned long long)value);
+    out += buf;
+}
+
+void
+appendInt(std::string &out, const char *key, int value)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %d,\n", key, value);
+    out += buf;
+}
+
+/**
+ * Minimal parser for the flat spec document: one object of
+ * string/number/bool fields. Tracks position only (the document is
+ * short); all diagnostics carry the field name being parsed.
+ */
+class FlatJsonParser
+{
+  public:
+    explicit FlatJsonParser(const std::string &doc) : s(doc) {}
+
+    void
+    expect(char c, const char *where)
+    {
+        skipWs();
+        if (pos >= s.size() || s[pos] != c)
+            throw SpecError(where, std::string("expected '") + c +
+                                       "' in spec JSON");
+        ++pos;
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos >= s.size();
+    }
+
+    bool
+    peek(char c)
+    {
+        skipWs();
+        return pos < s.size() && s[pos] == c;
+    }
+
+    std::string
+    parseString(const char *where)
+    {
+        expect('"', where);
+        std::string out;
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c == '\\' && pos < s.size())
+                c = s[pos++];
+            out += c;
+        }
+        if (pos >= s.size())
+            throw SpecError(where, "unterminated string");
+        ++pos;
+        return out;
+    }
+
+    double
+    parseNumber(const char *where)
+    {
+        skipWs();
+        const char *start = s.c_str() + pos;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            throw SpecError(where, "expected a number");
+        pos += size_t(end - start);
+        return v;
+    }
+
+    uint64_t
+    parseUint(const char *where)
+    {
+        skipWs();
+        // strtoull silently wraps negatives; reject them up front.
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos])))
+            throw SpecError(where, "expected an unsigned integer");
+        const char *start = s.c_str() + pos;
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(start, &end, 10);
+        if (end == start)
+            throw SpecError(where, "expected an unsigned integer");
+        pos += size_t(end - start);
+        return v;
+    }
+
+    int
+    parseInt(const char *where)
+    {
+        // Double-to-int conversion outside int's range is UB; gate
+        // the cast so a wild document throws instead.
+        const double v = parseNumber(where);
+        if (!(v >= -2147483648.0 && v <= 2147483647.0))
+            throw SpecError(where, "integer out of range");
+        return int(v);
+    }
+
+    bool
+    parseBool(const char *where)
+    {
+        skipWs();
+        if (s.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            return true;
+        }
+        if (s.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            return false;
+        }
+        throw SpecError(where, "expected true or false");
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+} // namespace
+
+std::string
+ExperimentSpec::json() const
+{
+    std::string out = "{\n";
+    appendString(out, "molecule", molecule);
+    appendDouble(out, "bond", bond);
+    appendInt(out, "basis_ng", basisNg);
+    appendDouble(out, "compression", compression);
+    appendString(out, "grouping", grouping);
+    appendString(out, "mode", mode);
+    appendString(out, "optimizer", optimizer);
+    appendString(out, "pipeline", pipeline);
+    appendString(out, "architecture", architecture);
+    appendDouble(out, "cnot_error", cnotError);
+    appendDouble(out, "single_qubit_error", singleQubitError);
+    appendUint(out, "shots", shots);
+    appendUint(out, "seed", seed);
+    appendInt(out, "max_iter", maxIter);
+    appendInt(out, "spsa_iter", spsaIter);
+    out += std::string("  \"reference\": ") +
+           (reference ? "true" : "false") + "\n";
+    out += "}\n";
+    return out;
+}
+
+ExperimentSpec
+ExperimentSpec::fromJson(const std::string &doc)
+{
+    ExperimentSpec spec;
+    FlatJsonParser p(doc);
+    p.expect('{', "(document)");
+    bool first = true;
+    while (!p.peek('}')) {
+        if (!first)
+            p.expect(',', "(document)");
+        first = false;
+        const std::string key = p.parseString("(field name)");
+        p.expect(':', key.c_str());
+        if (key == "molecule")
+            spec.molecule = p.parseString(key.c_str());
+        else if (key == "bond")
+            spec.bond = p.parseNumber(key.c_str());
+        else if (key == "basis_ng")
+            spec.basisNg = p.parseInt(key.c_str());
+        else if (key == "compression")
+            spec.compression = p.parseNumber(key.c_str());
+        else if (key == "grouping")
+            spec.grouping = p.parseString(key.c_str());
+        else if (key == "mode")
+            spec.mode = p.parseString(key.c_str());
+        else if (key == "optimizer")
+            spec.optimizer = p.parseString(key.c_str());
+        else if (key == "pipeline")
+            spec.pipeline = p.parseString(key.c_str());
+        else if (key == "architecture")
+            spec.architecture = p.parseString(key.c_str());
+        else if (key == "cnot_error")
+            spec.cnotError = p.parseNumber(key.c_str());
+        else if (key == "single_qubit_error")
+            spec.singleQubitError = p.parseNumber(key.c_str());
+        else if (key == "shots")
+            spec.shots = p.parseUint(key.c_str());
+        else if (key == "seed")
+            spec.seed = p.parseUint(key.c_str());
+        else if (key == "max_iter")
+            spec.maxIter = p.parseInt(key.c_str());
+        else if (key == "spsa_iter")
+            spec.spsaIter = p.parseInt(key.c_str());
+        else if (key == "reference")
+            spec.reference = p.parseBool(key.c_str());
+        else
+            throw SpecError(key, "unknown spec field");
+    }
+    p.expect('}', "(document)");
+    if (!p.atEnd())
+        throw SpecError("(document)",
+                        "trailing content after spec object");
+    return spec;
+}
+
+} // namespace qcc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Declarative experiment description. An ExperimentSpec is the full
+ * recipe for one end-to-end run of the co-optimized flow — molecule,
+ * basis, active space (via the Table I catalog), measurement
+ * grouping, ansatz compression, compiler pipeline + target
+ * architecture, evaluation mode, optimizer, shot budget, and seed —
+ * as a flat, JSON-round-trippable value: json() and fromJson()
+ * are exact inverses (stable field order, %.17g numbers), so a spec
+ * can be archived next to its RESULT_*.json and replayed
+ * bit-for-bit. String fields are registry keys, resolved (and
+ * diagnosed with the registered-name list) when qcc::Experiment
+ * validates the spec; fromJson() itself only checks shape, throwing
+ * SpecError with field provenance on malformed documents.
+ */
+
+#ifndef QCC_API_SPEC_HH
+#define QCC_API_SPEC_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace qcc {
+
+/** Malformed-spec failure naming the offending field. */
+class SpecError : public std::runtime_error
+{
+  public:
+    SpecError(std::string field_name, const std::string &detail)
+        : std::runtime_error("ExperimentSpec." + field_name + ": " +
+                             detail),
+          fieldName(std::move(field_name))
+    {
+    }
+
+    const std::string &field() const { return fieldName; }
+
+  private:
+    std::string fieldName;
+};
+
+/** One experiment, declaratively. */
+struct ExperimentSpec
+{
+    /** Table I catalog molecule ("H2", "LiH", ..., "CH4"). */
+    std::string molecule = "H2";
+
+    /** Bond length in Angstrom; <= 0 uses the catalog equilibrium. */
+    double bond = 0.0;
+
+    /** STO-nG contraction count (3 = the paper's STO-3G). */
+    int basisNg = 3;
+
+    /** Kept-parameter ratio; >= 1 keeps the full UCCSD ansatz. */
+    double compression = 1.0;
+
+    /** GroupingRegistry key ("greedy", "sorted-insertion"). */
+    std::string grouping = "greedy";
+
+    /** Evaluation mode ("ideal", "noisy", "sampled",
+     *  "noisy_sampled"). */
+    std::string mode = "ideal";
+
+    /** OptimizerRegistry key ("lbfgs", "gd", "spsa",
+     *  "nelder-mead"). */
+    std::string optimizer = "lbfgs";
+
+    /** PipelinePresetRegistry key; empty skips the compile phase. */
+    std::string pipeline;
+
+    /** Target device ("xtree<N>", "grid17", "grid<R>x<C>");
+     *  required by routed pipeline presets. */
+    std::string architecture;
+
+    /** CNOT depolarizing probability (noisy modes; the paper's
+     *  Section VI-D default). */
+    double cnotError = 1e-4;
+
+    /** Single-qubit depolarizing probability (noisy modes). */
+    double singleQubitError = 0.0;
+
+    /** Shots per energy estimate; 0 uses the QCC_SHOTS-backed
+     *  default. */
+    uint64_t shots = 0;
+
+    /** Master seed; 0 uses the QCC_SEED-backed global seed. */
+    uint64_t seed = 0;
+
+    /** Outer-loop iteration budget (gradient optimizers). */
+    int maxIter = 200;
+
+    /** SPSA iteration budget. */
+    int spsaIter = 250;
+
+    /** Compute the Lanczos FCI reference energy in the result. */
+    bool reference = true;
+
+    /**
+     * Flat JSON document, stable field order. fromJson(json()) is
+     * the identity.
+     */
+    std::string json() const;
+
+    /** Parse a spec document; throws SpecError on malformed input
+     *  or unknown fields (each diagnostic names the field). */
+    static ExperimentSpec fromJson(const std::string &doc);
+};
+
+} // namespace qcc
+
+#endif // QCC_API_SPEC_HH

@@ -48,4 +48,16 @@ isVerbose()
     return verboseFlag;
 }
 
+std::string
+qccJsonPath(const std::string &file_name)
+{
+    const char *env = std::getenv("QCC_JSON");
+    if (!env)
+        return {};
+    const std::string dir(env);
+    if (dir.empty() || dir == "0")
+        return {};
+    return (dir == "1" ? std::string() : dir + "/") + file_name;
+}
+
 } // namespace qcc

@@ -37,6 +37,15 @@ void setVerbose(bool verbose);
 /** Query verbosity. */
 bool isVerbose();
 
+/**
+ * Resolve the output path for one machine-readable result file under
+ * the QCC_JSON convention shared by every producer (TRACE_* run
+ * traces, BENCH_* bench tables, RESULT_* experiment records):
+ * unset/"0"/empty disables (returns ""), "1" targets the current
+ * directory, anything else is the output directory.
+ */
+std::string qccJsonPath(const std::string &file_name);
+
 } // namespace qcc
 
 #endif // QCC_COMMON_LOGGING_HH

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 namespace qcc {
@@ -45,6 +46,77 @@ chunkCount(size_t begin, size_t end, size_t grain, size_t max_chunks)
 
 /** Default minimum elements per chunk; below ~2*this a sweep is serial. */
 constexpr size_t kParallelGrain = size_t{1} << 14;
+
+/**
+ * Reusable heap buffers for per-task scratch state. Batched fan-outs
+ * (the parameter-shift gradient's per-task statevectors) acquire a
+ * buffer at task start and release it at task end, so steady-state
+ * gradient calls recycle a few large allocations instead of paying
+ * one O(2^n) allocation per task. Thread-safe; acquire() resizes the
+ * recycled buffer to the requested length (no reallocation once the
+ * pool has warmed up at that size). The pool caps both how many free
+ * buffers it retains and their total retained capacity — beyond
+ * either limit, released buffers are simply freed — so one wide
+ * fan-out on a large problem cannot pin peak-size scratch memory
+ * for the rest of the process.
+ */
+template <typename T>
+class BufferPool
+{
+  public:
+    /** Defaults: 32 buffers, 2^26 elements (1 GiB of cplx) total. */
+    explicit BufferPool(size_t max_free = 32,
+                        size_t max_elements = size_t{1} << 26)
+        : maxFree(max_free), maxElements(max_elements)
+    {
+    }
+
+    /** A buffer of exactly n elements (recycled when available). */
+    std::vector<T>
+    acquire(size_t n)
+    {
+        std::vector<T> buf;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!freeList.empty()) {
+                buf = std::move(freeList.back());
+                freeList.pop_back();
+                pooledElements -= buf.capacity();
+            }
+        }
+        buf.resize(n);
+        return buf;
+    }
+
+    /** Return a buffer to the pool (dropped when over a cap). */
+    void
+    release(std::vector<T> &&buf)
+    {
+        if (buf.capacity() == 0)
+            return;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (freeList.size() >= maxFree ||
+            pooledElements + buf.capacity() > maxElements)
+            return; // freed on scope exit
+        pooledElements += buf.capacity();
+        freeList.push_back(std::move(buf));
+    }
+
+    /** Free buffers currently pooled (observability/tests). */
+    size_t
+    pooled() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return freeList.size();
+    }
+
+  private:
+    mutable std::mutex mutex;
+    std::vector<std::vector<T>> freeList;
+    size_t maxFree;
+    size_t maxElements;
+    size_t pooledElements = 0;
+};
 
 /**
  * Apply body(lo, hi) over a partition of [begin, end). The body may

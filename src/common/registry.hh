@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Generic string-keyed component registry. Every pluggable seam of
+ * the stack — simulation backends, optimizers, measurement-grouping
+ * strategies, compiler-pipeline presets, energy-estimation modes —
+ * is a `Registry<FactoryT>`: named factories looked up by string key,
+ * so new components self-register instead of growing enum switches
+ * (the pass-registry pattern of classical compiler frameworks).
+ *
+ * Lookup failures throw RegistryError, a CompileError-style
+ * diagnostic that names the registry and lists every registered key,
+ * so a typo in an ExperimentSpec fails with the valid choices rather
+ * than a bare "not found". Registration normally happens in a
+ * registry's bootstrap (the accessor that builds the singleton), so
+ * static-library dead-stripping can never drop a built-in; runtime
+ * add() supports tests and downstream extensions.
+ */
+
+#ifndef QCC_COMMON_REGISTRY_HH
+#define QCC_COMMON_REGISTRY_HH
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qcc {
+
+/**
+ * Unknown-key failure with provenance: which registry was queried,
+ * which key missed, and what keys exist. what() carries the full
+ * diagnostic including the registered-name list.
+ */
+class RegistryError : public std::runtime_error
+{
+  public:
+    RegistryError(const std::string &registry, const std::string &key,
+                  const std::vector<std::string> &known)
+        : std::runtime_error(format(registry, key, known)),
+          registryName(registry), missingKey(key)
+    {
+    }
+
+    const std::string &registry() const { return registryName; }
+    const std::string &key() const { return missingKey; }
+
+  private:
+    static std::string
+    format(const std::string &registry, const std::string &key,
+           const std::vector<std::string> &known)
+    {
+        std::string msg = "unknown " + registry + " '" + key +
+                          "'; registered: ";
+        if (known.empty())
+            msg += "(none)";
+        for (size_t i = 0; i < known.size(); ++i)
+            msg += (i ? ", " : "") + known[i];
+        return msg;
+    }
+
+    std::string registryName;
+    std::string missingKey;
+};
+
+/**
+ * String-keyed factory table. FactoryT is any copyable callable (or
+ * value) type; the registry owns one instance per key. Registration
+ * is expected at startup (registry bootstrap or static init); lookups
+ * may then run concurrently.
+ */
+template <typename FactoryT>
+class Registry
+{
+  public:
+    /** `kind` names the registry in diagnostics ("backend", ...). */
+    explicit Registry(std::string kind) : kindName(std::move(kind)) {}
+
+    /** Register (or replace) a factory under `name`. */
+    void
+    add(const std::string &name, FactoryT factory)
+    {
+        entries[name] = std::move(factory);
+    }
+
+    bool
+    contains(const std::string &name) const
+    {
+        return entries.find(name) != entries.end();
+    }
+
+    /** Factory for `name`; throws RegistryError when absent. */
+    const FactoryT &
+    get(const std::string &name) const
+    {
+        auto it = entries.find(name);
+        if (it == entries.end())
+            throw RegistryError(kindName, name, names());
+        return it->second;
+    }
+
+    /** Registered keys, sorted (stable diagnostics and docs). */
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(entries.size());
+        for (const auto &[name, factory] : entries)
+            out.push_back(name);
+        return out;
+    }
+
+    size_t size() const { return entries.size(); }
+    const std::string &kind() const { return kindName; }
+
+  private:
+    std::string kindName;
+    std::map<std::string, FactoryT> entries;
+};
+
+} // namespace qcc
+
+#endif // QCC_COMMON_REGISTRY_HH

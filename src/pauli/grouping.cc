@@ -1,6 +1,7 @@
 #include "pauli/grouping.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 
@@ -48,6 +49,55 @@ groupQubitWise(const PauliSum &h)
         }
         if (!placed)
             groups.push_back({{idx}, p});
+    }
+    return groups;
+}
+
+std::vector<MeasurementGroup>
+groupQubitWiseSorted(const PauliSum &h)
+{
+    std::vector<size_t> order(h.numTerms());
+    std::iota(order.begin(), order.end(), size_t{0});
+    auto weight = [&](size_t i) {
+        return std::popcount(h.terms()[i].string.supportMask());
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         const int wa = weight(a), wb = weight(b);
+                         if (wa != wb)
+                             return wa > wb;
+                         return std::abs(h.terms()[a].coeff) >
+                                std::abs(h.terms()[b].coeff);
+                     });
+
+    std::vector<MeasurementGroup> groups;
+    for (size_t idx : order) {
+        const PauliString &p = h.terms()[idx].string;
+        // Prefer the first family whose basis already covers the
+        // term's support (no basis growth); otherwise the first
+        // compatible family. Wide strings arrive first, so covering
+        // families exist by the time the narrow strings land.
+        size_t best = groups.size();
+        for (size_t gi = 0; gi < groups.size(); ++gi) {
+            const MeasurementGroup &g = groups[gi];
+            if (!qubitWiseCommute(g.basis, p))
+                continue;
+            if ((p.supportMask() & ~g.basis.supportMask()) == 0) {
+                best = gi;
+                break;
+            }
+            if (best == groups.size())
+                best = gi;
+        }
+        if (best == groups.size()) {
+            groups.push_back({{idx}, p});
+            continue;
+        }
+        MeasurementGroup &g = groups[best];
+        g.termIndices.push_back(idx);
+        g.basis = PauliString(g.basis.numQubits(),
+                              g.basis.xMask() | p.xMask(),
+                              g.basis.zMask() | p.zMask());
     }
     return groups;
 }

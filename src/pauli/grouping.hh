@@ -11,6 +11,7 @@
 #define QCC_PAULI_GROUPING_HH
 
 #include <complex>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -44,6 +45,27 @@ bool qubitWiseCommute(const PauliString &a, const PauliString &b);
  * and placed in the first compatible family.
  */
 std::vector<MeasurementGroup> groupQubitWise(const PauliSum &h);
+
+/**
+ * Sorted-insertion QWC grouping: terms are scanned in descending
+ * Pauli-weight order (heaviest supports first, |coefficient| as the
+ * tie-break) and placed in the first compatible family whose basis
+ * already covers the term's support — falling back to the first
+ * compatible family. Wide strings seed the families before narrow
+ * strings fill them, which needs fewer measurement settings than
+ * greedy first-fit on the larger Table I Hamiltonians (HF, BeH2,
+ * BH3; cf. the sorted-insertion heuristic of arXiv:1908.06942).
+ */
+std::vector<MeasurementGroup> groupQubitWiseSorted(const PauliSum &h);
+
+/**
+ * A pluggable grouping strategy: PauliSum -> QWC measurement
+ * families. The api-layer GroupingRegistry maps strategy names onto
+ * these; a null GroupingFn always means the greedy first-fit
+ * baseline.
+ */
+using GroupingFn =
+    std::function<std::vector<MeasurementGroup>(const PauliSum &)>;
 
 /** Number of measurement settings saved vs. one-term-per-setting. */
 double groupingReduction(const PauliSum &h,

@@ -36,7 +36,10 @@ SamplingEngine::SamplingEngine(const PauliSum &h, SamplingOptions o)
             sampled.add(t.coeff, t.string);
     }
 
-    for (const auto &group : groupQubitWise(sampled)) {
+    const std::vector<MeasurementGroup> families =
+        opts.grouping ? opts.grouping(sampled)
+                      : groupQubitWise(sampled);
+    for (const auto &group : families) {
         SampledGroup g;
         g.rotations = basisChangeOps(group.basis);
         for (size_t idx : group.termIndices) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "pauli/grouping.hh"
 #include "pauli/pauli_sum.hh"
 #include "sim/backend.hh"
 #include "sim/statevector.hh"
@@ -54,6 +55,13 @@ struct SamplingOptions
      * the family) when true; uniform across families when false.
      */
     bool proportionalAllocation = true;
+
+    /**
+     * Measurement-family partition strategy (null = greedy
+     * first-fit). The api-layer GroupingRegistry resolves strategy
+     * names ("greedy", "sorted-insertion") onto this hook.
+     */
+    GroupingFn grouping;
 
     /** QCC_SHOTS when set (parsed as unsigned), otherwise 8192. */
     static uint64_t defaultShots();

@@ -23,6 +23,18 @@ Statevector::Statevector(unsigned n, uint64_t basis)
     amp[basis] = 1.0;
 }
 
+Statevector::Statevector(unsigned n, uint64_t basis,
+                         std::vector<cplx> &&buffer)
+    : nQubits(n), amp(std::move(buffer))
+{
+    if (n > 28)
+        fatal("Statevector: state too large");
+    amp.resize(size_t{1} << n);
+    if (basis >= amp.size())
+        panic("Statevector: basis state out of range");
+    reset(basis);
+}
+
 void
 Statevector::reset(uint64_t basis)
 {

@@ -36,6 +36,16 @@ class Statevector
     /** Computational basis state |basis>. */
     Statevector(unsigned n, uint64_t basis);
 
+    /**
+     * |basis> on n qubits adopting `buffer` as amplitude storage
+     * (resized to 2^n; no allocation when the buffer already has
+     * the capacity). Pairs with common/parallel's BufferPool so
+     * batched per-task states recycle heap blocks: move the storage
+     * back out through amplitudes() when done.
+     */
+    Statevector(unsigned n, uint64_t basis,
+                std::vector<cplx> &&buffer);
+
     /** Reset to |basis> without reallocating. */
     void reset(uint64_t basis = 0);
 

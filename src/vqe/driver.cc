@@ -2,33 +2,14 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <numeric>
+#include <utility>
 
 #include "common/logging.hh"
-#include "common/optimize.hh"
+#include "vqe/optimizers.hh"
 
 namespace qcc {
 
 namespace {
-
-/** Sub-stream tags so no two stochastic consumers share a stream. */
-constexpr uint64_t kStreamEnergy = 1;
-constexpr uint64_t kStreamGradient = 2;
-constexpr uint64_t kStreamSpsa = 3;
-constexpr uint64_t kStreamReadout = 4;
-
-const char *
-methodName(VqeDriverOptions::Method m)
-{
-    switch (m) {
-      case VqeDriverOptions::Method::Lbfgs: return "lbfgs";
-      case VqeDriverOptions::Method::GradientDescent: return "gd";
-      case VqeDriverOptions::Method::Spsa: return "spsa";
-      case VqeDriverOptions::Method::NelderMead: return "nelder-mead";
-    }
-    return "?";
-}
 
 double
 infNorm(const std::vector<double> &v)
@@ -48,6 +29,7 @@ evalModeName(EvalMode mode)
       case EvalMode::Ideal: return "ideal";
       case EvalMode::Noisy: return "noisy";
       case EvalMode::Sampled: return "sampled";
+      case EvalMode::NoisySampled: return "noisy_sampled";
     }
     return "?";
 }
@@ -78,49 +60,49 @@ VqeTrace::json() const
 }
 
 VqeDriver::VqeDriver(const PauliSum &h, const Ansatz &a,
-                     VqeDriverOptions o)
-    : ham(h), ansatz(a), opts(o), shiftEngine(h, ansatz, o.gradient)
+                     VqeDriverOptions o,
+                     std::unique_ptr<EstimationStrategy> strat)
+    : ham(h), ansatz(a), opts(std::move(o)),
+      strategy(std::move(strat)),
+      shiftEngine(h, ansatz, opts.gradient)
 {
     if (ham.numQubits() != ansatz.nQubits)
         fatal("VqeDriver: Hamiltonian/ansatz width mismatch");
-    if (opts.mode == EvalMode::Sampled) {
-        sampler.emplace(ham, opts.sampling);
-        perEvalShots = std::accumulate(
-            sampler->shotAllocation().begin(),
-            sampler->shotAllocation().end(), uint64_t{0});
-    } else {
-        engine.emplace(ham);
-    }
-    evalBackend = makeBackend();
-    traceData.mode = evalModeName(opts.mode);
-    traceData.optimizer = methodName(opts.method);
+    if (!strategy)
+        fatal("VqeDriver: null estimation strategy");
+    optimizer = opts.optimizer;
+    if (!optimizer)
+        optimizer = makeVqeOptimizer(opts.method);
+    evalBackend = strategy->makeBackend();
+    traceData.mode = strategy->name();
+    traceData.optimizer = optimizer->name();
     traceData.seed = opts.seed;
+}
+
+VqeDriver::VqeDriver(const PauliSum &h, const Ansatz &a,
+                     VqeDriverOptions o)
+    : VqeDriver(h, a, o,
+                makeEstimationStrategy(
+                    evalModeName(o.mode),
+                    EstimationConfig{&h, o.noise, o.sampling, {}}))
+{
 }
 
 std::unique_ptr<SimBackend>
 VqeDriver::makeBackend() const
 {
-    if (opts.mode == EvalMode::Noisy)
-        return std::make_unique<DensityMatrixBackend>(ansatz.nQubits,
-                                                      opts.noise);
-    return std::make_unique<StatevectorBackend>(ansatz.nQubits);
+    return strategy->makeBackend();
 }
 
 double
 VqeDriver::measureCurrent(SimBackend &backend, uint64_t stream,
                           double *variance_out)
 {
-    if (opts.mode != EvalMode::Sampled) {
-        if (variance_out)
-            *variance_out = 0.0;
-        return engine->energy(backend);
-    }
-    Rng rng(stream);
-    SampledEnergy s = sampler->measure(backend, rng);
-    shotsTotal += s.shots;
+    EnergyEstimate est = strategy->measure(backend, stream);
+    shotsTotal += est.shots;
     if (variance_out)
-        *variance_out = s.variance;
-    return s.energy;
+        *variance_out = est.variance;
+    return est.energy;
 }
 
 void
@@ -134,7 +116,7 @@ VqeDriver::energy(const std::vector<double> &params)
 {
     evalBackend->applyAnsatz(ansatz, params);
     const uint64_t stream = deriveStream(
-        deriveStream(opts.seed, kStreamEnergy), evalCount);
+        deriveStream(opts.seed, kVqeStreamEnergy), evalCount);
     ++evalCount;
     double var = 0.0;
     const double e = measureCurrent(*evalBackend, stream, &var);
@@ -148,35 +130,13 @@ VqeDriver::gradient(const std::vector<double> &params)
     // Per-call, per-task streams: independent of both scheduling and
     // batching, so the batched fan-out is bit-identical to serial.
     const uint64_t callStream =
-        deriveStream(deriveStream(opts.seed, kStreamGradient),
+        deriveStream(deriveStream(opts.seed, kVqeStreamGradient),
                      gradCount);
     ++gradCount;
-    const bool sampled = opts.mode == EvalMode::Sampled;
-    std::vector<double> g;
-    switch (opts.mode) {
-      case EvalMode::Ideal:
-          g = shiftEngine.gradientStatevector(
-              params, [&](const Statevector &psi, size_t) {
-                  return engine->energy(psi);
-              });
-          break;
-      case EvalMode::Noisy:
-          g = shiftEngine.gradientNoisy(params, opts.noise);
-          break;
-      case EvalMode::Sampled:
-          g = shiftEngine.gradientStatevector(
-              params, [&](const Statevector &psi, size_t task) {
-                  Rng rng(deriveStream(callStream, task));
-                  return sampler->measure(psi, rng).energy;
-              });
-          break;
-    }
-    if (sampled)
-        // Every shifted evaluation spends the fixed allocation;
-        // accounted here once so the batched tasks touch no shared
-        // state.
-        shotsTotal +=
-            shiftEngine.numShiftedEvaluations() * perEvalShots;
+    uint64_t shots = 0;
+    std::vector<double> g =
+        strategy->gradient(shiftEngine, params, callStream, &shots);
+    shotsTotal += shots;
     return g;
 }
 
@@ -184,14 +144,14 @@ VqeResult
 VqeDriver::runGradientDescent()
 {
     std::vector<double> x(ansatz.nParams, 0.0);
-    const bool sampled = opts.mode == EvalMode::Sampled;
+    const bool stochastic = strategy->stochastic();
 
     VqeResult res;
     evalBackend->applyAnsatz(ansatz, x);
     double var = 0.0;
     double e = measureCurrent(
         *evalBackend,
-        deriveStream(deriveStream(opts.seed, kStreamEnergy),
+        deriveStream(deriveStream(opts.seed, kVqeStreamEnergy),
                      evalCount++),
         &var);
     int evals = 1;
@@ -210,7 +170,7 @@ VqeDriver::runGradientDescent()
 
         double eNew = e;
         std::vector<double> xNew = x;
-        if (!sampled) {
+        if (!stochastic) {
             // Deterministic objective: Armijo backtracking from the
             // configured rate.
             double gg = 0.0;
@@ -244,7 +204,8 @@ VqeDriver::runGradientDescent()
             evalBackend->applyAnsatz(ansatz, xNew);
             eNew = measureCurrent(
                 *evalBackend,
-                deriveStream(deriveStream(opts.seed, kStreamEnergy),
+                deriveStream(deriveStream(opts.seed,
+                                          kVqeStreamEnergy),
                              evalCount++),
                 &var);
             ++evals;
@@ -257,7 +218,7 @@ VqeDriver::runGradientDescent()
             bestE = e;
             bestX = x;
         }
-        if (!sampled &&
+        if (!stochastic &&
             change < opts.ftol * (1.0 + std::fabs(e))) {
             ++iter;
             res.converged = true;
@@ -265,12 +226,12 @@ VqeDriver::runGradientDescent()
         }
     }
 
-    res.energy = sampled ? bestE : e;
-    res.params = sampled ? bestX : x;
+    res.energy = stochastic ? bestE : e;
+    res.params = stochastic ? bestX : x;
     res.iterations = iter;
     res.evals =
         evals + int(gradCount * shiftEngine.numShiftedEvaluations());
-    if (sampled)
+    if (stochastic)
         res.converged = true; // ran its budget; noise floor decides
     return res;
 }
@@ -278,70 +239,17 @@ VqeDriver::runGradientDescent()
 VqeResult
 VqeDriver::run()
 {
-    using Method = VqeDriverOptions::Method;
-    std::vector<double> x0(ansatz.nParams, 0.0);
-    auto objective = [this](const std::vector<double> &x) {
-        return energy(x);
-    };
+    VqeResult res = optimizer->minimize(*this);
 
-    VqeResult res;
-    switch (opts.method) {
-      case Method::GradientDescent:
-          res = runGradientDescent();
-          break;
-      case Method::Lbfgs: {
-          LbfgsOptions lo;
-          lo.maxIter = opts.maxIter;
-          lo.gtol = opts.gtol;
-          lo.ftol = opts.ftol;
-          GradientFn grad = [this](const std::vector<double> &x) {
-              return gradient(x);
-          };
-          OptimizeResult opt = lbfgsMinimize(objective, x0, lo, grad);
-          res.energy = opt.fun;
-          res.params = opt.x;
-          res.iterations = opt.iterations;
-          res.evals = opt.funEvals +
-              int(gradCount * shiftEngine.numShiftedEvaluations());
-          res.converged = opt.converged;
-          break;
-      }
-      case Method::Spsa: {
-          SpsaOptions so;
-          so.maxIter = opts.spsaIter;
-          so.seed = deriveStream(opts.seed, kStreamSpsa);
-          OptimizeResult opt = spsa(objective, x0, so);
-          res.energy = opt.fun;
-          res.params = opt.x;
-          res.iterations = opt.iterations;
-          res.evals = opt.funEvals;
-          res.converged = opt.converged;
-          break;
-      }
-      case Method::NelderMead: {
-          NelderMeadOptions no;
-          no.maxIter =
-              opts.maxIter * std::max(1u, ansatz.nParams);
-          OptimizeResult opt = nelderMead(objective, x0, no);
-          res.energy = opt.fun;
-          res.params = opt.x;
-          res.iterations = opt.iterations;
-          res.evals = opt.funEvals;
-          res.converged = opt.converged;
-          break;
-      }
-    }
-
-    if (opts.mode == EvalMode::Sampled &&
-        opts.finalReadoutFactor > 1) {
+    if (strategy->stochastic() && opts.finalReadoutFactor > 1) {
         // Shot-frugal reporting: one generous readout at the best
-        // parameters instead of tightening every iteration.
-        SamplingOptions big = opts.sampling;
-        big.shots *= opts.finalReadoutFactor;
-        SamplingEngine readout(ham, big);
+        // parameters instead of tightening every iteration. The
+        // strategy scales its own sampling policy, so injected
+        // strategies and driver options cannot diverge here.
         evalBackend->applyAnsatz(ansatz, res.params);
-        Rng rng(deriveStream(opts.seed, kStreamReadout));
-        SampledEnergy fin = readout.measure(*evalBackend, rng);
+        EnergyEstimate fin = strategy->finalReadout(
+            *evalBackend, deriveStream(opts.seed, kVqeStreamReadout),
+            opts.finalReadoutFactor);
         shotsTotal += fin.shots;
         res.energy = fin.energy;
         recordPoint(res.iterations, fin.energy, fin.variance, 0.0);
@@ -352,15 +260,9 @@ VqeDriver::run()
 std::string
 VqeDriver::writeTrace(const std::string &name) const
 {
-    const char *env = std::getenv("QCC_JSON");
-    if (!env)
+    const std::string path = qccJsonPath("TRACE_" + name + ".json");
+    if (path.empty())
         return {};
-    std::string dir(env);
-    if (dir.empty() || dir == "0")
-        return {};
-    const std::string path =
-        (dir == "1" ? std::string() : dir + "/") + "TRACE_" + name +
-        ".json";
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         warn("VqeDriver::writeTrace: cannot write " + path);

@@ -1,31 +1,39 @@
 /**
  * @file
- * Unified VQE driver: one object owning the simulation backend
- * choice, the energy-estimation engine, the parameter-shift gradient
- * engine, and the classical optimizer. Three evaluation modes behind
- * one enum —
+ * Unified VQE driver: one object owning the evaluation loop — an
+ * EstimationStrategy (state model + readout), a parameter-shift
+ * gradient engine, and a classical VqeOptimizer strategy. The
+ * strategy seam composes the evaluation modes:
  *
- *  - Ideal:   statevector backend, grouped analytic expectation;
- *  - Noisy:   density-matrix backend with depolarizing channels
- *             (gate circuits through the cached compiler pipeline);
- *  - Sampled: statevector backend read out through the shot-based
- *             SamplingEngine, the NISQ measurement-cost model;
+ *  - ideal:         statevector state, grouped analytic expectation;
+ *  - noisy:         density-matrix state with depolarizing channels
+ *                   (gate circuits through the cached compiler
+ *                   pipeline), analytic expectation;
+ *  - sampled:       statevector state, shot-based SamplingEngine
+ *                   readout (the NISQ measurement-cost model);
+ *  - noisy_sampled: density-matrix state + shot readout — the
+ *                   end-to-end hardware model, composed from the
+ *                   same two parts rather than a new code path;
  *
- * and four optimizers (L-BFGS with analytic parameter-shift
- * gradients, plain gradient descent, SPSA, Nelder-Mead). Every run
+ * and the optimizers (L-BFGS with analytic parameter-shift
+ * gradients, plain gradient descent, SPSA, Nelder-Mead) are
+ * registry-backed strategy objects (vqe/optimizers.hh). Every run
  * records a machine-readable trace — per-point energy, estimator
  * variance, cumulative shots, gradient norm — that writeTrace()
  * serializes as TRACE_<name>.json under the QCC_JSON convention, so
  * convergence and measurement-cost trajectories can be captured
  * without scraping stdout. All stochastic behavior derives from one
  * seed (default: the QCC_SEED-backed global seed).
+ *
+ * The EvalMode-enum constructor remains as a thin deprecated shim
+ * over the strategy constructor (one PR); new code should go through
+ * qcc::Experiment (api/experiment.hh) or inject a strategy directly.
  */
 
 #ifndef QCC_VQE_DRIVER_HH
 #define QCC_VQE_DRIVER_HH
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,17 +43,32 @@
 #include "sim/backend.hh"
 #include "sim/noise_model.hh"
 #include "sim/sampling.hh"
-#include "vqe/expectation_engine.hh"
+#include "vqe/estimation.hh"
 #include "vqe/gradient.hh"
 #include "vqe/vqe.hh"
 
 namespace qcc {
 
-/** How the driver turns parameters into an energy estimate. */
-enum class EvalMode { Ideal, Noisy, Sampled };
+class VqeOptimizer;
 
-/** Printable mode name ("ideal", "noisy", "sampled"). */
+/**
+ * Legacy evaluation-mode selector; each value resolves to the
+ * estimation strategy of the same registry name.
+ */
+enum class EvalMode { Ideal, Noisy, Sampled, NoisySampled };
+
+/** Registry/trace name ("ideal", "noisy", "sampled", "noisy_sampled"). */
 const char *evalModeName(EvalMode mode);
+
+/**
+ * Sub-stream tags for the driver's stochastic consumers: no two
+ * consumers share a stream, and optimizer strategies (SPSA) derive
+ * theirs from the same table.
+ */
+constexpr uint64_t kVqeStreamEnergy = 1;
+constexpr uint64_t kVqeStreamGradient = 2;
+constexpr uint64_t kVqeStreamSpsa = 3;
+constexpr uint64_t kVqeStreamReadout = 4;
 
 /** Driver configuration. */
 struct VqeDriverOptions
@@ -61,8 +84,14 @@ struct VqeDriverOptions
     };
     Method method = Method::Lbfgs;
 
-    NoiseModel noise;         ///< Noisy mode channels
-    SamplingOptions sampling; ///< Sampled mode shot policy
+    /**
+     * Optimizer strategy (api OptimizerRegistry or
+     * makeVqeOptimizer); when null, one is built from `method`.
+     */
+    std::shared_ptr<const VqeOptimizer> optimizer;
+
+    NoiseModel noise;         ///< noisy-mode channels
+    SamplingOptions sampling; ///< sampled-mode shot policy
     GradientOptions gradient; ///< shift rule + batching
 
     int maxIter = 200;        ///< outer-loop iteration budget
@@ -80,8 +109,8 @@ struct VqeDriverOptions
     uint64_t seed = globalSeed();
 
     /**
-     * Sampled mode re-reads the energy at the best parameters with
-     * this multiple of the per-evaluation shot budget before
+     * Stochastic modes re-read the energy at the best parameters
+     * with this multiple of the per-evaluation shot budget before
      * reporting, so the returned energy is not limited by one
      * iteration's noise floor.
      */
@@ -101,7 +130,7 @@ struct VqeTracePoint
 /** Machine-readable run record. */
 struct VqeTrace
 {
-    std::string mode;      ///< "ideal" | "noisy" | "sampled"
+    std::string mode;      ///< estimation-strategy name
     std::string optimizer;
     uint64_t seed = 0;
     std::vector<VqeTracePoint> points;
@@ -118,6 +147,20 @@ struct VqeTrace
 class VqeDriver
 {
   public:
+    /**
+     * Strategy-injection constructor: the driver estimates energies
+     * through `strategy` and minimizes with opts.optimizer (or the
+     * opts.method fallback).
+     */
+    VqeDriver(const PauliSum &h, const Ansatz &ansatz,
+              VqeDriverOptions opts,
+              std::unique_ptr<EstimationStrategy> strategy);
+
+    /**
+     * Deprecated shim (kept for one PR): resolves opts.mode through
+     * the estimation registry and delegates to the strategy
+     * constructor. Prefer qcc::Experiment or strategy injection.
+     */
     VqeDriver(const PauliSum &h, const Ansatz &ansatz,
               VqeDriverOptions opts = {});
 
@@ -127,13 +170,13 @@ class VqeDriver
     VqeDriver(const VqeDriver &) = delete;
     VqeDriver &operator=(const VqeDriver &) = delete;
 
-    /** Fresh backend for the configured mode. */
+    /** Fresh backend for the configured strategy's state model. */
     std::unique_ptr<SimBackend> makeBackend() const;
 
     /**
      * One energy estimate at `params` (recorded in the trace).
-     * Sampled mode consumes a per-call rng stream derived from the
-     * seed and the evaluation counter.
+     * Stochastic strategies consume a per-call rng stream derived
+     * from the seed and the evaluation counter.
      */
     double energy(const std::vector<double> &params);
 
@@ -146,6 +189,19 @@ class VqeDriver
     const VqeTrace &trace() const { return traceData; }
     uint64_t shotsSpent() const { return shotsTotal; }
     const VqeDriverOptions &options() const { return opts; }
+    const EstimationStrategy &estimation() const { return *strategy; }
+
+    /** Ansatz parameter count (optimizer start-vector dimension). */
+    unsigned numParams() const { return ansatz.nParams; }
+
+    /** Gradient calls so far (optimizer evals accounting). */
+    uint64_t gradientCount() const { return gradCount; }
+
+    /** Shifted energy evaluations per gradient (2R). */
+    size_t shiftEvaluationsPerGradient() const
+    {
+        return shiftEngine.numShiftedEvaluations();
+    }
 
     /**
      * Write the trace as TRACE_<name>.json under the QCC_JSON
@@ -155,6 +211,8 @@ class VqeDriver
     std::string writeTrace(const std::string &name) const;
 
   private:
+    friend class GradientDescentVqeOptimizer;
+
     double measureCurrent(SimBackend &backend, uint64_t stream,
                           double *variance_out);
     VqeResult runGradientDescent();
@@ -163,12 +221,11 @@ class VqeDriver
     PauliSum ham;
     Ansatz ansatz;
     VqeDriverOptions opts;
-    std::optional<ExpectationEngine> engine;  ///< Ideal/Noisy
-    std::optional<SamplingEngine> sampler;    ///< Sampled
+    std::unique_ptr<EstimationStrategy> strategy;
+    std::shared_ptr<const VqeOptimizer> optimizer;
     ParameterShiftEngine shiftEngine;
     std::unique_ptr<SimBackend> evalBackend; ///< reused, serial path
     VqeTrace traceData;
-    uint64_t perEvalShots = 0; ///< Sampled: shots per estimate
     uint64_t shotsTotal = 0;
     uint64_t evalCount = 0;
     uint64_t gradCount = 0;

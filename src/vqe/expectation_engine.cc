@@ -8,7 +8,8 @@
 
 namespace qcc {
 
-ExpectationEngine::ExpectationEngine(const PauliSum &h)
+ExpectationEngine::ExpectationEngine(const PauliSum &h,
+                                     const GroupingFn &grouping)
     : ham(h), nQubits(h.numQubits())
 {
     if (h.maxImagCoeff() > 1e-9)
@@ -30,7 +31,9 @@ ExpectationEngine::ExpectationEngine(const PauliSum &h)
     if (!diag.weights.empty())
         plans.push_back(std::move(diag));
 
-    for (const auto &group : groupQubitWise(offDiag)) {
+    const std::vector<MeasurementGroup> groups =
+        grouping ? grouping(offDiag) : groupQubitWise(offDiag);
+    for (const auto &group : groups) {
         GroupPlan plan;
         plan.rotations = basisChangeOps(group.basis);
         // A rotated family sweep costs one state copy plus one

@@ -41,7 +41,12 @@ namespace qcc {
 class ExpectationEngine
 {
   public:
-    explicit ExpectationEngine(const PauliSum &h);
+    /**
+     * Compile the evaluation plan, partitioning off-diagonal terms
+     * with `grouping` (null = the greedy first-fit baseline).
+     */
+    explicit ExpectationEngine(const PauliSum &h,
+                               const GroupingFn &grouping = {});
 
     /** <psi| H |psi> via the compiled per-family plans. */
     double energy(const Statevector &psi) const;

@@ -9,6 +9,22 @@
 
 namespace qcc {
 
+namespace {
+
+/**
+ * Shared scratch-statevector pool for the batched per-task replays:
+ * with grain-1 fan-out every task is its own chunk, so without the
+ * pool each shifted evaluation paid one O(2^n) allocation.
+ */
+BufferPool<cplx> &
+statePool()
+{
+    static BufferPool<cplx> pool;
+    return pool;
+}
+
+} // namespace
+
 ParameterShiftEngine::ParameterShiftEngine(const PauliSum &h,
                                            const Ansatz &ansatz,
                                            GradientOptions o)
@@ -102,7 +118,9 @@ ParameterShiftEngine::gradientStatevector(
     const size_t tasks = 2 * shiftable.size();
     std::vector<double> shifted(tasks, 0.0);
     auto evalRange = [&](size_t lo, size_t hi) {
-        Statevector sv(n);
+        // Scratch state from the shared pool: chunks recycle the
+        // same few 2^n blocks call after call.
+        Statevector sv(n, 0, statePool().acquire(dim));
         for (size_t t = lo; t < hi; ++t) {
             const size_t i = t / 2;
             const size_t rot = shiftable[i];
@@ -120,6 +138,7 @@ ParameterShiftEngine::gradientStatevector(
                 sv.applyPauliRotation(base[j], rots[j].string);
             shifted[t] = estimate(sv, t);
         }
+        statePool().release(std::move(sv.amplitudes()));
     };
     if (opts.batched)
         parallelFor(0, tasks, evalRange, /*grain=*/1);

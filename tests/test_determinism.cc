@@ -3,55 +3,32 @@
  * Single-seed reproducibility: every stochastic path in the library
  * (shot sampling, SPSA, the yield Monte-Carlo) must replay
  * bit-for-bit from one master seed. The core check runs a full
- * sampled VQE twice and diffs the serialized traces — the
- * machine-readable record is the reproducibility contract, so it is
- * what gets compared.
+ * sampled VQE twice through the qcc::Experiment facade and diffs the
+ * serialized traces — the machine-readable record is the
+ * reproducibility contract, so it is what gets compared.
  */
 
 #include <gtest/gtest.h>
 
-#include "ansatz/uccsd.hh"
+#include "api/experiment.hh"
 #include "arch/grid.hh"
 #include "arch/yield.hh"
-#include "chem/molecules.hh"
 #include "common/logging.hh"
 #include "common/optimize.hh"
 #include "common/rng.hh"
-#include "ferm/hamiltonian.hh"
-#include "vqe/driver.hh"
 
 using namespace qcc;
 
 namespace {
 
-struct Fixture
+ExperimentBuilder
+sampledH2()
 {
-    MolecularProblem prob;
-    Ansatz ansatz;
-};
-
-const Fixture &
-h2()
-{
-    static const Fixture fix = [] {
-        setVerbose(false);
-        MolecularProblem prob =
-            buildMolecularProblem(benchmarkMolecule("H2"), 0.74);
-        Ansatz a = buildUccsd(prob.nSpatial, prob.nElectrons);
-        return Fixture{std::move(prob), std::move(a)};
-    }();
-    return fix;
-}
-
-VqeDriverOptions
-sampledOpts()
-{
-    VqeDriverOptions o;
-    o.mode = EvalMode::Sampled;
-    o.method = VqeDriverOptions::Method::Spsa;
-    o.spsaIter = 40;
-    o.sampling.shots = 2048;
-    return o;
+    setVerbose(false);
+    ExperimentBuilder b = Experiment::builder();
+    b.molecule("H2").bond(0.74).reference(false);
+    b.mode("sampled").optimizer("spsa").spsaIter(40).shots(2048);
+    return b;
 }
 
 } // namespace
@@ -61,40 +38,45 @@ TEST(Determinism, SampledVqeTraceReplaysExactly)
     // Run the whole stochastic pipeline twice; the serialized traces
     // (every energy, variance, shot count, in order) must be equal
     // byte for byte.
-    VqeDriver d1(h2().prob.hamiltonian, h2().ansatz, sampledOpts());
-    VqeResult r1 = d1.run();
-    VqeDriver d2(h2().prob.hamiltonian, h2().ansatz, sampledOpts());
-    VqeResult r2 = d2.run();
+    ExperimentResult r1 = sampledH2().build().run();
+    ExperimentResult r2 = sampledH2().build().run();
 
-    EXPECT_EQ(r1.energy, r2.energy);
-    EXPECT_EQ(r1.params, r2.params);
-    EXPECT_EQ(d1.shotsSpent(), d2.shotsSpent());
-    EXPECT_EQ(d1.trace().json(), d2.trace().json());
-    ASSERT_FALSE(d1.trace().points.empty());
+    EXPECT_EQ(r1.energy(), r2.energy());
+    EXPECT_EQ(r1.vqe.params, r2.vqe.params);
+    EXPECT_EQ(r1.shots, r2.shots);
+    EXPECT_EQ(r1.trace.json(), r2.trace.json());
+    ASSERT_FALSE(r1.trace.points.empty());
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentTraces)
 {
-    VqeDriverOptions a = sampledOpts();
-    VqeDriverOptions b = sampledOpts();
-    b.seed = a.seed + 1;
-    VqeDriver d1(h2().prob.hamiltonian, h2().ansatz, a);
-    d1.run();
-    VqeDriver d2(h2().prob.hamiltonian, h2().ansatz, b);
-    d2.run();
-    EXPECT_NE(d1.trace().json(), d2.trace().json());
+    ExperimentResult r1 =
+        sampledH2().seed(globalSeed()).build().run();
+    ExperimentResult r2 =
+        sampledH2().seed(globalSeed() + 1).build().run();
+    EXPECT_NE(r1.trace.json(), r2.trace.json());
 }
 
 TEST(Determinism, GradientDescentModeTraceReplaysExactly)
 {
-    VqeDriverOptions o = sampledOpts();
-    o.method = VqeDriverOptions::Method::GradientDescent;
-    o.maxIter = 8;
-    VqeDriver d1(h2().prob.hamiltonian, h2().ansatz, o);
-    d1.run();
-    VqeDriver d2(h2().prob.hamiltonian, h2().ansatz, o);
-    d2.run();
-    EXPECT_EQ(d1.trace().json(), d2.trace().json());
+    ExperimentBuilder b = sampledH2();
+    b.optimizer("gd").maxIter(8);
+    ExperimentResult r1 = b.build().run();
+    ExperimentResult r2 = b.build().run();
+    EXPECT_EQ(r1.trace.json(), r2.trace.json());
+}
+
+TEST(Determinism, SpecReplayReproducesRun)
+{
+    // The resolved spec a result carries is the replay recipe: a
+    // second experiment built from its JSON round-trip must replay
+    // the run bit-for-bit.
+    ExperimentResult r1 = sampledH2().build().run();
+    ExperimentSpec replay =
+        ExperimentSpec::fromJson(r1.spec.json());
+    ExperimentResult r2 = Experiment(replay).run();
+    EXPECT_EQ(r1.energy(), r2.energy());
+    EXPECT_EQ(r1.trace.json(), r2.trace.json());
 }
 
 TEST(Determinism, SpsaReproducibleFromOptionsSeed)
@@ -139,9 +121,8 @@ TEST(Determinism, DerivedStreamsAreStableAndDistinct)
 
 TEST(Determinism, TraceJsonCarriesRunMetadata)
 {
-    VqeDriver d(h2().prob.hamiltonian, h2().ansatz, sampledOpts());
-    d.run();
-    const std::string doc = d.trace().json();
+    ExperimentResult r = sampledH2().build().run();
+    const std::string doc = r.trace.json();
     EXPECT_NE(doc.find("\"mode\": \"sampled\""), std::string::npos);
     EXPECT_NE(doc.find("\"optimizer\": \"spsa\""),
               std::string::npos);
