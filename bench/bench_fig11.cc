@@ -10,16 +10,12 @@
 
 #include <cstdio>
 
-#include "ansatz/compression.hh"
-#include "ansatz/uccsd.hh"
+#include "api/experiment.hh"
 #include "arch/grid.hh"
 #include "arch/xtree.hh"
 #include "arch/yield.hh"
 #include "bench_util.hh"
-#include "chem/molecules.hh"
 #include "common/rng.hh"
-#include "compiler/pipeline.hh"
-#include "ferm/hamiltonian.hh"
 
 using namespace qcc;
 using namespace qccbench;
@@ -67,23 +63,24 @@ main()
 
     // The other half of the co-design claim: the sparse tree that
     // fabricates ~8x more reliably is also the one the pipeline
-    // compiles onto almost for free. Compile the 50%-compressed LiH
-    // program with the verified MtR flow as a sanity coda.
-    const auto &lih = benchmarkMolecule("LiH");
-    MolecularProblem prob =
-        buildMolecularProblem(lih, lih.equilibriumBond);
-    Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
-    CompressedAnsatz comp =
-        compressAnsatz(full, prob.hamiltonian, 0.5);
-    PipelineOptions po;
-    po.verifyTrials = 2; // randomized equivalence on top of coupling
-    CompilerPipeline pipe(tree, po);
-    std::vector<double> zeros(comp.ansatz.nParams, 0.0);
-    CompileResult r = pipe.compile(comp.ansatz, zeros);
-    std::printf("\nLiH@50%% on XTree17Q via pipeline: %zu gates, "
+    // compiles onto almost for free. Run the 50%-compressed LiH
+    // spec through the Experiment facade with the verified MtR
+    // preset as a sanity coda (one cheap SPSA step: the compiled
+    // structure is parameter-independent).
+    ExperimentResult res = Experiment::builder()
+                               .molecule("LiH")
+                               .compression(0.5)
+                               .optimizer("spsa")
+                               .spsaIter(1)
+                               .reference(false)
+                               .pipeline("mtr-verify")
+                               .architecture("xtree17")
+                               .build()
+                               .run();
+    std::printf("\nLiH@50%% on XTree17Q via facade: %zu gates, "
                 "depth %zu, overhead %zu CNOTs, verified, "
                 "%.1f ms\n",
-                r.circuit.totalGates(), r.circuit.depth(),
-                r.overheadCnots(), r.report.totalMillis);
+                res.compiled.gates, res.compiled.depth,
+                res.compiled.overheadCnots, res.compiled.millis);
     return 0;
 }

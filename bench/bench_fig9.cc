@@ -21,7 +21,8 @@
 #include "ferm/hamiltonian.hh"
 #include "sim/backend.hh"
 #include "sim/lanczos.hh"
-#include "vqe/vqe.hh"
+#include "vqe/driver.hh"
+#include "vqe/estimation.hh"
 
 using namespace qcc;
 using namespace qccbench;
@@ -29,6 +30,17 @@ using namespace qccbench;
 namespace {
 
 const std::vector<double> ratios = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+/** Ideal-mode minimization through the strategy-injected driver. */
+VqeResult
+minimizeIdeal(const PauliSum &h, const Ansatz &a)
+{
+    VqeDriver driver(
+        h, a, {},
+        makeEstimationStrategy("ideal",
+                               EstimationConfig{&h, {}, {}, {}}));
+    return driver.run();
+}
 
 struct SweepAccumulator
 {
@@ -79,11 +91,8 @@ main()
             Ansatz full =
                 buildUccsd(prob.nSpatial, prob.nElectrons);
 
-            // One ideal backend per sweep point, reused (and
-            // re-prepared in place) by every VQE run below.
-            StatevectorBackend backend(prob.nQubits);
             VqeResult rFull =
-                runVqe(backend, prob.hamiltonian, full);
+                minimizeIdeal(prob.hamiltonian, full);
             std::printf("%-7.2f %12.5f %12.5f", bond, exact,
                         rFull.energy);
 
@@ -92,7 +101,7 @@ main()
                 CompressedAnsatz comp = compressAnsatz(
                     full, prob.hamiltonian, ratios[ri]);
                 VqeResult r =
-                    runVqe(backend, prob.hamiltonian, comp.ansatz);
+                    minimizeIdeal(prob.hamiltonian, comp.ansatz);
                 std::printf(" %8.5f", r.energy);
                 acc.sumIterRatio[ri] += r.iterations;
                 acc.sumAbsErrRatio[ri] +=
@@ -105,9 +114,9 @@ main()
                 Rng rng(deriveSeed(1000 + s));
                 CompressedAnsatz rnd =
                     randomCompress(full, 0.5, rng);
-                randMean += runVqe(backend, prob.hamiltonian,
-                                   rnd.ansatz)
-                                .energy;
+                randMean +=
+                    minimizeIdeal(prob.hamiltonian, rnd.ansatz)
+                        .energy;
             }
             randMean /= randomSeeds;
             std::printf("   %12.5f\n", randMean);
@@ -121,16 +130,15 @@ main()
         MolecularProblem prob =
             buildMolecularProblem(entry, entry.equilibriumBond);
         Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
-        StatevectorBackend backend(prob.nQubits);
         std::printf(
             "iterations @eq:      full=%d ",
-            runVqe(backend, prob.hamiltonian, full).iterations);
+            minimizeIdeal(prob.hamiltonian, full).iterations);
         for (double r : ratios) {
             CompressedAnsatz comp =
                 compressAnsatz(full, prob.hamiltonian, r);
             std::printf(
                 " %3.0f%%=%d", 100 * r,
-                runVqe(backend, prob.hamiltonian, comp.ansatz)
+                minimizeIdeal(prob.hamiltonian, comp.ansatz)
                     .iterations);
         }
         std::printf("\n");

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * qcc_sweep — run a SweepSpec file end to end. The declarative
+ * counterpart of the per-point examples: one JSON document names a
+ * whole study (axes over molecules, bond ranges, compression
+ * thresholds, groupings, seeds, ...), the engine fans the expanded
+ * jobs over a bounded worker pool with the shared compile cache,
+ * and the aggregate lands in SWEEP_<name>.json — per-job records
+ * plus best-energy/curve/settings summaries. Shipped spec files
+ * under examples/specs/ reproduce the Figure 10 LiH dissociation
+ * curve and a Table I slice.
+ *
+ *   qcc_sweep specs/lih_curve.json
+ *   qcc_sweep specs/table1_slice.json --concurrency 4
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "sweep/sweep_engine.hh"
+
+using namespace qcc;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <spec.json> [options]\n"
+        "  --concurrency N   worker width (default: spec, then "
+        "QCC_THREADS)\n"
+        "  --cold-cache      clear the compile cache before every "
+        "job\n"
+        "  --list            print the expanded job list and exit\n"
+        "  --quiet           suppress per-job progress lines\n"
+        "\nThe aggregate is written as SWEEP_<name>.json under the\n"
+        "QCC_JSON convention, falling back to the current "
+        "directory.\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    if (argc < 2)
+        return usage(argv[0]);
+
+    std::string specPath;
+    unsigned concurrency = 0;
+    bool coldCache = false, listOnly = false, quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--concurrency" && i + 1 < argc) {
+            concurrency = unsigned(std::atoi(argv[++i]));
+        } else if (arg == "--cold-cache") {
+            coldCache = true;
+        } else if (arg == "--list") {
+            listOnly = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            specPath = arg;
+        }
+    }
+    if (specPath.empty())
+        return usage(argv[0]);
+
+    SweepSpec spec;
+    try {
+        spec = SweepSpec::fromFile(specPath);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "qcc_sweep: %s\n", e.what());
+        return 1;
+    }
+
+    std::vector<ExperimentSpec> jobs;
+    try {
+        jobs = spec.expand();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "qcc_sweep: %s\n", e.what());
+        return 1;
+    }
+
+    std::printf("sweep '%s': %zu jobs", spec.name.c_str(),
+                jobs.size());
+    if (!spec.axes.empty()) {
+        std::printf(" (");
+        for (size_t a = 0; a < spec.axes.size(); ++a)
+            std::printf("%s%s x %zu", a ? ", " : "",
+                        spec.axes[a].field.c_str(),
+                        spec.axes[a].values.size());
+        std::printf(")");
+    }
+    std::printf("\n");
+
+    if (listOnly) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            std::printf("  #%-3zu %-5s bond %-5.2f comp %-4.2f "
+                        "%s/%s\n",
+                        i, jobs[i].molecule.c_str(), jobs[i].bond,
+                        jobs[i].compression, jobs[i].mode.c_str(),
+                        jobs[i].optimizer.c_str());
+        return 0;
+    }
+
+    SweepEngineOptions opts;
+    opts.concurrency = concurrency;
+    opts.coldCompileCache = coldCache;
+    if (!quiet) {
+        opts.progress = [](const SweepProgress &p) {
+            const SweepJobRecord &r = *p.last;
+            std::printf("[%zu/%zu] #%-3zu %-5s bond %-5.2f  %-9s",
+                        p.completed, p.total, r.index,
+                        r.spec.molecule.c_str(),
+                        r.effectiveSpec().bond,
+                        jobStatusName(r.status));
+            if (r.finished())
+                std::printf("  E = %+.6f Ha", r.result.energy());
+            if (!r.error.empty())
+                std::printf("  (%s)", r.error.c_str());
+            std::printf("\n");
+            std::fflush(stdout);
+        };
+    }
+
+    SweepEngine engine(spec, opts);
+    std::printf("running at concurrency %u%s...\n\n",
+                engine.concurrency(),
+                coldCache ? ", cold compile cache" : "");
+    ResultStore store = engine.run();
+
+    // ---- console summary ----------------------------------------
+    std::printf("\n%zu done, %zu failed, %zu timed out, %zu "
+                "skipped\n",
+                store.countWithStatus(JobStatus::Done),
+                store.countWithStatus(JobStatus::Failed),
+                store.countWithStatus(JobStatus::TimedOut),
+                store.countWithStatus(JobStatus::Skipped));
+
+    bool header = false;
+    for (const auto &rec : store.jobs()) {
+        if (rec.status != JobStatus::Done)
+            continue;
+        if (!header) {
+            std::printf("\n%-4s %-5s %-8s %14s %14s %14s\n", "job",
+                        "mol", "bond(A)", "HF", "VQE", "FCI");
+            header = true;
+        }
+        std::printf("%-4zu %-5s %-8.2f %14.6f %14.6f ",
+                    rec.index, rec.spec.molecule.c_str(),
+                    rec.effectiveSpec().bond,
+                    rec.result.hartreeFock, rec.result.energy());
+        if (rec.result.haveFci)
+            std::printf("%14.6f\n", rec.result.fci);
+        else
+            std::printf("%14s\n", "-");
+    }
+
+    std::string path = store.write();
+    if (path.empty()) // QCC_JSON unset: the CLI still delivers
+        path = store.writeTo("SWEEP_" + store.name() + ".json");
+    if (!path.empty())
+        std::printf("\nwrote %s\n", path.c_str());
+
+    return store.countWithStatus(JobStatus::Failed) == 0 ? 0 : 1;
+}

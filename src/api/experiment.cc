@@ -245,14 +245,11 @@ Experiment::run() const
 }
 
 std::string
-ExperimentResult::json() const
+ExperimentResult::json(const JsonOptions &options) const
 {
     std::string specDoc = spec.json();
     while (!specDoc.empty() && specDoc.back() == '\n')
         specDoc.pop_back();
-    std::string traceDoc = trace.json();
-    while (!traceDoc.empty() && traceDoc.back() == '\n')
-        traceDoc.pop_back();
 
     std::string out = "{\n\"spec\": " + specDoc + ",\n";
     char buf[256];
@@ -280,20 +277,40 @@ ExperimentResult::json() const
             "\"compiled\": {\"pipeline\": \"%s\", "
             "\"device\": \"%s\", \"gates\": %zu, \"cnots\": %zu, "
             "\"depth\": %zu, \"swaps\": %zu, "
-            "\"overhead_cnots\": %zu, \"millis\": %.6g, "
-            "\"cache_hit\": %s},\n",
+            "\"overhead_cnots\": %zu",
             compiled.pipeline.c_str(), compiled.device.c_str(),
             compiled.gates, compiled.cnots, compiled.depth,
-            compiled.swaps, compiled.overheadCnots, compiled.millis,
-            compiled.cacheHit ? "true" : "false");
+            compiled.swaps, compiled.overheadCnots);
+        out += buf;
+        if (options.timings) {
+            std::snprintf(buf, sizeof(buf),
+                          ", \"millis\": %.6g, \"cache_hit\": %s",
+                          compiled.millis,
+                          compiled.cacheHit ? "true" : "false");
+            out += buf;
+        }
+        out += "},\n";
+    }
+    if (options.timings) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "\"timing_ms\": {\"build\": %.6g, \"vqe\": %.6g, "
+            "\"compile\": %.6g, \"total\": %.6g},\n",
+            buildMillis, vqeMillis, compileMillis, totalMillis);
         out += buf;
     }
-    std::snprintf(buf, sizeof(buf),
-                  "\"timing_ms\": {\"build\": %.6g, \"vqe\": %.6g, "
-                  "\"compile\": %.6g, \"total\": %.6g},\n",
-                  buildMillis, vqeMillis, compileMillis, totalMillis);
-    out += buf;
-    out += "\"trace\": " + traceDoc + "\n}\n";
+    if (options.trace) {
+        std::string traceDoc = trace.json();
+        while (!traceDoc.empty() && traceDoc.back() == '\n')
+            traceDoc.pop_back();
+        out += "\"trace\": " + traceDoc + "\n}\n";
+    } else {
+        // Close after the last emitted block (strip the trailing
+        // comma-newline).
+        if (out.size() >= 2 && out[out.size() - 2] == ',')
+            out.erase(out.size() - 2, 1);
+        out += "}\n";
+    }
     return out;
 }
 

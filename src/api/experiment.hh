@@ -108,8 +108,25 @@ struct ExperimentResult
     /** Converged energy (the headline number). */
     double energy() const { return vqe.energy; }
 
+    /**
+     * Serialization selection for json(). The volatile fields —
+     * wall-clock timings and the compile-cache outcome — change
+     * between otherwise identical runs, so aggregators that promise
+     * byte-stable output (the sweep ResultStore) drop them; the
+     * trace can dominate a document and is skippable for compact
+     * per-job records.
+     */
+    struct JsonOptions
+    {
+        bool timings = true; ///< timing_ms block + compiled millis/cache_hit
+        bool trace = true;   ///< full per-point VQE trace
+    };
+
     /** Full JSON document: spec, metrics, timings, and the trace. */
-    std::string json() const;
+    std::string json() const { return json(JsonOptions{}); }
+
+    /** JSON document with the selected sections. */
+    std::string json(const JsonOptions &options) const;
 
     /**
      * Write json() as RESULT_<name>.json under the QCC_JSON

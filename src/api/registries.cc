@@ -49,6 +49,7 @@ groupingRegistry()
         GroupingRegistry r("grouping strategy");
         r.add("greedy", groupQubitWise);
         r.add("sorted-insertion", groupQubitWiseSorted);
+        r.add("graph-coloring", groupQubitWiseColoring);
         return r;
     }();
     return reg;

@@ -14,7 +14,7 @@
  * Built-ins:
  *  - backends:  "statevector", "density_matrix"
  *  - optimizers: "lbfgs", "gd", "spsa", "nelder-mead"
- *  - groupings: "greedy", "sorted-insertion"
+ *  - groupings: "greedy", "sorted-insertion", "graph-coloring"
  *  - pipeline presets: "chain", "mtr", "mtr-peephole",
  *    "mtr-verify", "sabre"
  * (Evaluation modes have their own registry in vqe/estimation.hh.)

@@ -1,8 +1,6 @@
 #include "api/spec.hh"
 
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
 
 namespace qcc {
 
@@ -15,13 +13,7 @@ appendString(std::string &out, const char *key,
     out += "  \"";
     out += key;
     out += "\": \"";
-    // Spec strings are registry keys / catalog names; escape the two
-    // characters that could break the document anyway.
-    for (char c : value) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
+    out += jsonEscape(value);
     out += last ? "\"\n" : "\",\n";
 }
 
@@ -51,125 +43,51 @@ appendInt(std::string &out, const char *key, int value)
     out += buf;
 }
 
-/**
- * Minimal parser for the flat spec document: one object of
- * string/number/bool fields. Tracks position only (the document is
- * short); all diagnostics carry the field name being parsed.
- */
-class FlatJsonParser
+// ---- typed field extraction (shared diagnostics) ----------------
+
+std::string
+asString(const std::string &key, const JsonValue &v)
 {
-  public:
-    explicit FlatJsonParser(const std::string &doc) : s(doc) {}
+    if (!v.isString())
+        throw SpecError(key, "expected a string");
+    return v.text;
+}
 
-    void
-    expect(char c, const char *where)
-    {
-        skipWs();
-        if (pos >= s.size() || s[pos] != c)
-            throw SpecError(where, std::string("expected '") + c +
-                                       "' in spec JSON");
-        ++pos;
-    }
+double
+asNumber(const std::string &key, const JsonValue &v)
+{
+    if (!v.isNumber())
+        throw SpecError(key, "expected a number");
+    return v.number;
+}
 
-    bool
-    atEnd()
-    {
-        skipWs();
-        return pos >= s.size();
-    }
+uint64_t
+asUint(const std::string &key, const JsonValue &v)
+{
+    uint64_t out = 0;
+    if (!v.isNumber() || !v.asUint64(out))
+        throw SpecError(key, "expected an unsigned integer");
+    return out;
+}
 
-    bool
-    peek(char c)
-    {
-        skipWs();
-        return pos < s.size() && s[pos] == c;
-    }
+int
+asInt(const std::string &key, const JsonValue &v)
+{
+    // Double-to-int conversion outside int's range is UB; gate the
+    // cast so a wild document throws instead.
+    const double d = asNumber(key, v);
+    if (!(d >= -2147483648.0 && d <= 2147483647.0))
+        throw SpecError(key, "integer out of range");
+    return int(d);
+}
 
-    std::string
-    parseString(const char *where)
-    {
-        expect('"', where);
-        std::string out;
-        while (pos < s.size() && s[pos] != '"') {
-            char c = s[pos++];
-            if (c == '\\' && pos < s.size())
-                c = s[pos++];
-            out += c;
-        }
-        if (pos >= s.size())
-            throw SpecError(where, "unterminated string");
-        ++pos;
-        return out;
-    }
-
-    double
-    parseNumber(const char *where)
-    {
-        skipWs();
-        const char *start = s.c_str() + pos;
-        char *end = nullptr;
-        const double v = std::strtod(start, &end);
-        if (end == start)
-            throw SpecError(where, "expected a number");
-        pos += size_t(end - start);
-        return v;
-    }
-
-    uint64_t
-    parseUint(const char *where)
-    {
-        skipWs();
-        // strtoull silently wraps negatives; reject them up front.
-        if (pos >= s.size() ||
-            !std::isdigit(static_cast<unsigned char>(s[pos])))
-            throw SpecError(where, "expected an unsigned integer");
-        const char *start = s.c_str() + pos;
-        char *end = nullptr;
-        const unsigned long long v = std::strtoull(start, &end, 10);
-        if (end == start)
-            throw SpecError(where, "expected an unsigned integer");
-        pos += size_t(end - start);
-        return v;
-    }
-
-    int
-    parseInt(const char *where)
-    {
-        // Double-to-int conversion outside int's range is UB; gate
-        // the cast so a wild document throws instead.
-        const double v = parseNumber(where);
-        if (!(v >= -2147483648.0 && v <= 2147483647.0))
-            throw SpecError(where, "integer out of range");
-        return int(v);
-    }
-
-    bool
-    parseBool(const char *where)
-    {
-        skipWs();
-        if (s.compare(pos, 4, "true") == 0) {
-            pos += 4;
-            return true;
-        }
-        if (s.compare(pos, 5, "false") == 0) {
-            pos += 5;
-            return false;
-        }
-        throw SpecError(where, "expected true or false");
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos < s.size() &&
-               std::isspace(static_cast<unsigned char>(s[pos])))
-            ++pos;
-    }
-
-    const std::string &s;
-    size_t pos = 0;
-};
+bool
+asBool(const std::string &key, const JsonValue &v)
+{
+    if (!v.isBool())
+        throw SpecError(key, "expected true or false");
+    return v.boolean;
+}
 
 } // namespace
 
@@ -198,58 +116,60 @@ ExperimentSpec::json() const
     return out;
 }
 
+void
+applySpecField(ExperimentSpec &spec, const std::string &key,
+               const JsonValue &v)
+{
+    if (key == "molecule")
+        spec.molecule = asString(key, v);
+    else if (key == "bond")
+        spec.bond = asNumber(key, v);
+    else if (key == "basis_ng")
+        spec.basisNg = asInt(key, v);
+    else if (key == "compression")
+        spec.compression = asNumber(key, v);
+    else if (key == "grouping")
+        spec.grouping = asString(key, v);
+    else if (key == "mode")
+        spec.mode = asString(key, v);
+    else if (key == "optimizer")
+        spec.optimizer = asString(key, v);
+    else if (key == "pipeline")
+        spec.pipeline = asString(key, v);
+    else if (key == "architecture")
+        spec.architecture = asString(key, v);
+    else if (key == "cnot_error")
+        spec.cnotError = asNumber(key, v);
+    else if (key == "single_qubit_error")
+        spec.singleQubitError = asNumber(key, v);
+    else if (key == "shots")
+        spec.shots = asUint(key, v);
+    else if (key == "seed")
+        spec.seed = asUint(key, v);
+    else if (key == "max_iter")
+        spec.maxIter = asInt(key, v);
+    else if (key == "spsa_iter")
+        spec.spsaIter = asInt(key, v);
+    else if (key == "reference")
+        spec.reference = asBool(key, v);
+    else
+        throw SpecError(key, "unknown spec field");
+}
+
 ExperimentSpec
 ExperimentSpec::fromJson(const std::string &doc)
 {
-    ExperimentSpec spec;
-    FlatJsonParser p(doc);
-    p.expect('{', "(document)");
-    bool first = true;
-    while (!p.peek('}')) {
-        if (!first)
-            p.expect(',', "(document)");
-        first = false;
-        const std::string key = p.parseString("(field name)");
-        p.expect(':', key.c_str());
-        if (key == "molecule")
-            spec.molecule = p.parseString(key.c_str());
-        else if (key == "bond")
-            spec.bond = p.parseNumber(key.c_str());
-        else if (key == "basis_ng")
-            spec.basisNg = p.parseInt(key.c_str());
-        else if (key == "compression")
-            spec.compression = p.parseNumber(key.c_str());
-        else if (key == "grouping")
-            spec.grouping = p.parseString(key.c_str());
-        else if (key == "mode")
-            spec.mode = p.parseString(key.c_str());
-        else if (key == "optimizer")
-            spec.optimizer = p.parseString(key.c_str());
-        else if (key == "pipeline")
-            spec.pipeline = p.parseString(key.c_str());
-        else if (key == "architecture")
-            spec.architecture = p.parseString(key.c_str());
-        else if (key == "cnot_error")
-            spec.cnotError = p.parseNumber(key.c_str());
-        else if (key == "single_qubit_error")
-            spec.singleQubitError = p.parseNumber(key.c_str());
-        else if (key == "shots")
-            spec.shots = p.parseUint(key.c_str());
-        else if (key == "seed")
-            spec.seed = p.parseUint(key.c_str());
-        else if (key == "max_iter")
-            spec.maxIter = p.parseInt(key.c_str());
-        else if (key == "spsa_iter")
-            spec.spsaIter = p.parseInt(key.c_str());
-        else if (key == "reference")
-            spec.reference = p.parseBool(key.c_str());
-        else
-            throw SpecError(key, "unknown spec field");
+    JsonValue root;
+    try {
+        root = JsonValue::parse(doc);
+    } catch (const JsonError &e) {
+        throw SpecError("(document)", e.what());
     }
-    p.expect('}', "(document)");
-    if (!p.atEnd())
-        throw SpecError("(document)",
-                        "trailing content after spec object");
+    if (!root.isObject())
+        throw SpecError("(document)", "spec must be a JSON object");
+    ExperimentSpec spec;
+    for (const auto &[key, value] : root.members)
+        applySpecField(spec, key, value);
     return spec;
 }
 

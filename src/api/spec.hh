@@ -20,6 +20,9 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
+
+#include "common/json.hh"
 
 namespace qcc {
 
@@ -106,6 +109,18 @@ struct ExperimentSpec
      *  or unknown fields (each diagnostic names the field). */
     static ExperimentSpec fromJson(const std::string &doc);
 };
+
+/**
+ * Apply one parsed JSON value onto a spec field named by its JSON
+ * key ("molecule", "bond", "max_iter", ...). This is the expansion
+ * hook the sweep layer fans a SweepSpec's axes through — one setter
+ * shared with fromJson(), so axis values obey exactly the spec
+ * document's typing rules (exact uint64 seeds, int range checks).
+ * Throws SpecError naming the field on an unknown key or a
+ * wrong-typed value.
+ */
+void applySpecField(ExperimentSpec &spec, const std::string &key,
+                    const JsonValue &value);
 
 } // namespace qcc
 

@@ -24,6 +24,43 @@ parallelThreads()
     return n;
 }
 
+BoundedExecutor::BoundedExecutor(unsigned width)
+    : concurrency(width ? width : parallelThreads())
+{
+}
+
+void
+BoundedExecutor::run(size_t n_tasks,
+                     const std::function<void(size_t)> &task) const
+{
+    if (n_tasks == 0)
+        return;
+    const unsigned width =
+        unsigned(std::min<size_t>(concurrency, n_tasks));
+    if (width <= 1) {
+        for (size_t i = 0; i < n_tasks; ++i)
+            task(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n_tasks)
+                return;
+            task(i);
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(width - 1);
+    for (unsigned t = 0; t + 1 < width; ++t)
+        threads.emplace_back(worker);
+    worker(); // the caller is the width-th lane
+    for (auto &t : threads)
+        t.join();
+}
+
 namespace detail {
 
 namespace {

@@ -12,6 +12,7 @@
 #define QCC_COMMON_PARALLEL_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <mutex>
@@ -46,6 +47,54 @@ chunkCount(size_t begin, size_t end, size_t grain, size_t max_chunks)
 
 /** Default minimum elements per chunk; below ~2*this a sweep is serial. */
 constexpr size_t kParallelGrain = size_t{1} << 14;
+
+/**
+ * Cooperative cancellation flag shared between a controller and the
+ * workers it fans out. Cancellation is a request, not a kill: code
+ * that honors the token checks cancelled() at its own safe points
+ * (the sweep engine checks before claiming each job), so in-flight
+ * work always completes and its results stay consistent.
+ */
+class CancellationToken
+{
+  public:
+    void requestCancel() { flag.store(true, std::memory_order_release); }
+    bool cancelled() const { return flag.load(std::memory_order_acquire); }
+    void reset() { flag.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> flag{false};
+};
+
+/**
+ * Bounded-concurrency executor for coarse independent jobs — whole
+ * Experiment runs, not the amplitude-sweep chunks poolRun schedules.
+ * Jobs claim indices from a shared counter on up to `width` dedicated
+ * threads (plus load-balancing for free); a job may itself fan out
+ * over the shared data-parallel pool, which serializes pool use
+ * across jobs rather than deadlocking. Width 1 (or a single task)
+ * runs inline on the caller with no thread traffic at all, which is
+ * what makes concurrency-1 sweep runs bit-identical baselines.
+ *
+ * Tasks must not throw: exceptions cannot cross the thread boundary,
+ * so callers catch inside the task (the sweep engine records a
+ * failed-job status instead).
+ */
+class BoundedExecutor
+{
+  public:
+    /** width 0 falls back to parallelThreads(). */
+    explicit BoundedExecutor(unsigned width = 0);
+
+    unsigned width() const { return concurrency; }
+
+    /** Run task(0) ... task(n_tasks - 1); blocks until all finish. */
+    void run(size_t n_tasks,
+             const std::function<void(size_t)> &task) const;
+
+  private:
+    unsigned concurrency;
+};
 
 /**
  * Reusable heap buffers for per-task scratch state. Batched fan-outs

@@ -102,6 +102,98 @@ groupQubitWiseSorted(const PauliSum &h)
     return groups;
 }
 
+std::vector<MeasurementGroup>
+groupQubitWiseColoring(const PauliSum &h)
+{
+    const size_t n = h.numTerms();
+    if (n == 0)
+        return {};
+
+    // Conflict adjacency as packed bit rows: row i holds a 1 for
+    // every term that cannot share a setting with term i.
+    const size_t words = (n + 63) / 64;
+    std::vector<uint64_t> adj(n * words, 0);
+    std::vector<unsigned> degree(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const PauliString &a = h.terms()[i].string;
+        for (size_t j = i + 1; j < n; ++j) {
+            if (qubitWiseCommute(a, h.terms()[j].string))
+                continue;
+            adj[i * words + j / 64] |= uint64_t{1} << (j % 64);
+            adj[j * words + i / 64] |= uint64_t{1} << (i % 64);
+            ++degree[i];
+            ++degree[j];
+        }
+    }
+
+    constexpr size_t kUncolored = size_t(-1);
+    std::vector<size_t> color(n, kUncolored);
+    // Per-vertex saturation: which colors appear on neighbors.
+    // Colors are dense (smallest-feasible), so a bitset per vertex
+    // over the worst-case color count n stays O(n^2 / 64).
+    std::vector<uint64_t> sat(n * words, 0);
+    std::vector<unsigned> satCount(n, 0);
+    size_t nColors = 0;
+
+    for (size_t step = 0; step < n; ++step) {
+        // DSATUR selection: max saturation, then max conflict
+        // degree, then lowest index (fully deterministic).
+        size_t pick = kUncolored;
+        for (size_t i = 0; i < n; ++i) {
+            if (color[i] != kUncolored)
+                continue;
+            if (pick == kUncolored ||
+                satCount[i] > satCount[pick] ||
+                (satCount[i] == satCount[pick] &&
+                 degree[i] > degree[pick]))
+                pick = i;
+        }
+
+        // Smallest color absent from the neighborhood.
+        size_t c = 0;
+        while (c < nColors &&
+               (sat[pick * words + c / 64] >> (c % 64)) & 1)
+            ++c;
+        color[pick] = c;
+        nColors = std::max(nColors, c + 1);
+
+        // Update neighbor saturation.
+        for (size_t w = 0; w < words; ++w) {
+            uint64_t bits = adj[pick * words + w];
+            while (bits) {
+                const size_t j =
+                    w * 64 + size_t(std::countr_zero(bits));
+                bits &= bits - 1;
+                if (color[j] != kUncolored)
+                    continue;
+                uint64_t &slot = sat[j * words + c / 64];
+                const uint64_t bit = uint64_t{1} << (c % 64);
+                if (!(slot & bit)) {
+                    slot |= bit;
+                    ++satCount[j];
+                }
+            }
+        }
+    }
+
+    // Color classes in color order; members in term order. Pairwise
+    // QWC within a class means every non-identity operator on a
+    // qubit agrees, so the merged basis is exact.
+    std::vector<MeasurementGroup> groups(nColors);
+    for (size_t i = 0; i < n; ++i) {
+        MeasurementGroup &g = groups[color[i]];
+        const PauliString &p = h.terms()[i].string;
+        if (g.termIndices.empty())
+            g.basis = p;
+        else
+            g.basis = PauliString(g.basis.numQubits(),
+                                  g.basis.xMask() | p.xMask(),
+                                  g.basis.zMask() | p.zMask());
+        g.termIndices.push_back(i);
+    }
+    return groups;
+}
+
 std::vector<std::pair<unsigned, PauliOp>>
 basisChangeOps(const PauliString &basis)
 {

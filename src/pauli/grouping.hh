@@ -59,6 +59,22 @@ std::vector<MeasurementGroup> groupQubitWise(const PauliSum &h);
 std::vector<MeasurementGroup> groupQubitWiseSorted(const PauliSum &h);
 
 /**
+ * Graph-coloring QWC grouping: build the conflict graph (one vertex
+ * per term, an edge wherever two strings are not qubit-wise
+ * commuting) and color it with the DSATUR heuristic — repeatedly
+ * color the vertex with the most distinctly-colored neighbors,
+ * breaking ties by conflict degree then term index, with the
+ * smallest feasible color. Color classes are the measurement
+ * families (pairwise QWC by construction, so the shared basis is
+ * well defined). DSATUR's global view of the conflict structure
+ * needs fewer settings than one-pass insertion orders on the larger
+ * Table I Hamiltonians (cf. the coloring formulation of
+ * arXiv:1907.03358 / arXiv:1908.06942); the O(n^2) bitset
+ * construction is immaterial next to one VQE iteration.
+ */
+std::vector<MeasurementGroup> groupQubitWiseColoring(const PauliSum &h);
+
+/**
  * A pluggable grouping strategy: PauliSum -> QWC measurement
  * families. The api-layer GroupingRegistry maps strategy names onto
  * these; a null GroupingFn always means the greedy first-fit

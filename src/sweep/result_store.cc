@@ -1,0 +1,276 @@
+#include "sweep/result_store.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace qcc {
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Pending: return "pending";
+      case JobStatus::Running: return "running";
+      case JobStatus::Done: return "done";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::TimedOut: return "timed_out";
+      case JobStatus::Skipped: return "skipped";
+    }
+    return "?";
+}
+
+ResultStore::ResultStore(std::string sweep_name, bool emit_timings)
+    : sweepName(std::move(sweep_name)), emitTimings(emit_timings),
+      mutex(std::make_unique<std::mutex>())
+{
+}
+
+void
+ResultStore::reset(const std::vector<ExperimentSpec> &jobs)
+{
+    std::lock_guard<std::mutex> lock(*mutex);
+    records.clear();
+    records.resize(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        records[i].index = i;
+        records[i].spec = jobs[i];
+    }
+}
+
+void
+ResultStore::record(SweepJobRecord r)
+{
+    std::lock_guard<std::mutex> lock(*mutex);
+    const size_t i = r.index;
+    if (i < records.size())
+        records[i] = std::move(r);
+}
+
+void
+ResultStore::markRunning(size_t index)
+{
+    std::lock_guard<std::mutex> lock(*mutex);
+    if (index < records.size() &&
+        records[index].status == JobStatus::Pending)
+        records[index].status = JobStatus::Running;
+}
+
+size_t
+ResultStore::countWithStatus(JobStatus status) const
+{
+    std::lock_guard<std::mutex> lock(*mutex);
+    size_t n = 0;
+    for (const auto &r : records)
+        n += r.status == status ? 1 : 0;
+    return n;
+}
+
+std::string
+ResultStore::json() const
+{
+    std::lock_guard<std::mutex> lock(*mutex);
+    char buf[256];
+
+    size_t done = 0, failed = 0, timedOut = 0, skipped = 0,
+           pending = 0;
+    uint64_t totalShots = 0;
+    for (const auto &r : records) {
+        switch (r.status) {
+          case JobStatus::Done: ++done; break;
+          case JobStatus::Failed: ++failed; break;
+          case JobStatus::TimedOut: ++timedOut; break;
+          case JobStatus::Skipped: ++skipped; break;
+          default: ++pending; break;
+        }
+        if (r.finished())
+            totalShots += r.result.shots;
+    }
+
+    std::string out = "{\n";
+    out += "\"sweep\": \"" + jsonEscape(sweepName) + "\",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "\"summary\": {\"jobs\": %zu, \"done\": %zu, "
+                  "\"failed\": %zu, \"timed_out\": %zu, "
+                  "\"skipped\": %zu, \"pending\": %zu, "
+                  "\"total_shots\": %llu},\n",
+                  records.size(), done, failed, timedOut, skipped,
+                  pending, (unsigned long long)totalShots);
+    out += buf;
+
+    // ---- best energy per molecule (Done jobs, job order) --------
+    std::vector<std::string> moleculeOrder;
+    std::map<std::string, const SweepJobRecord *> best;
+    for (const auto &r : records) {
+        if (r.status != JobStatus::Done)
+            continue;
+        auto it = best.find(r.spec.molecule);
+        if (it == best.end()) {
+            moleculeOrder.push_back(r.spec.molecule);
+            best[r.spec.molecule] = &r;
+        } else if (r.result.energy() < it->second->result.energy()) {
+            it->second = &r;
+        }
+    }
+    out += "\"best_energy\": [";
+    for (size_t m = 0; m < moleculeOrder.size(); ++m) {
+        const SweepJobRecord *r = best[moleculeOrder[m]];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n  {\"molecule\": \"%s\", \"job\": %zu, "
+                      "\"bond\": %.17g, \"energy\": %.17g}",
+                      m ? "," : "", moleculeOrder[m].c_str(),
+                      r->index, r->effectiveSpec().bond,
+                      r->result.energy());
+        out += buf;
+    }
+    out += moleculeOrder.empty() ? "],\n" : "\n],\n";
+
+    // ---- dissociation curves (>= 2 distinct bonds) --------------
+    out += "\"curves\": [";
+    bool anyCurve = false;
+    for (const auto &mol : moleculeOrder) {
+        std::vector<const SweepJobRecord *> points;
+        for (const auto &r : records)
+            if (r.status == JobStatus::Done &&
+                r.spec.molecule == mol)
+                points.push_back(&r);
+        std::stable_sort(points.begin(), points.end(),
+                         [](const SweepJobRecord *a,
+                            const SweepJobRecord *b) {
+                             return a->effectiveSpec().bond <
+                                    b->effectiveSpec().bond;
+                         });
+        bool distinct = false;
+        for (size_t i = 1; i < points.size(); ++i)
+            distinct |= points[i]->effectiveSpec().bond !=
+                        points[0]->effectiveSpec().bond;
+        if (!distinct)
+            continue;
+        out += anyCurve ? "," : "";
+        anyCurve = true;
+        out += "\n  {\"molecule\": \"" + jsonEscape(mol) +
+               "\", \"points\": [";
+        for (size_t i = 0; i < points.size(); ++i) {
+            const SweepJobRecord *r = points[i];
+            std::snprintf(buf, sizeof(buf),
+                          "%s\n    {\"job\": %zu, \"bond\": %.17g, "
+                          "\"energy\": %.17g, "
+                          "\"hartree_fock\": %.17g",
+                          i ? "," : "", r->index,
+                          r->effectiveSpec().bond,
+                          r->result.energy(),
+                          r->result.hartreeFock);
+            out += buf;
+            if (r->result.haveFci) {
+                std::snprintf(buf, sizeof(buf), ", \"fci\": %.17g",
+                              r->result.fci);
+                out += buf;
+            }
+            out += "}";
+        }
+        out += "\n  ]}";
+    }
+    out += anyCurve ? "\n],\n" : "],\n";
+
+    // ---- measurement settings per Hamiltonian x grouping --------
+    // The Hamiltonian (and so the settings count) depends on the
+    // molecule, geometry, and basis, not just the molecule: key on
+    // all of them so a bond-swept comparison reports every distinct
+    // problem rather than silently keeping the first.
+    out += "\"grouping_settings\": [";
+    std::vector<std::string> seen;
+    bool anyGrouping = false;
+    for (const auto &r : records) {
+        if (r.status != JobStatus::Done)
+            continue;
+        const ExperimentSpec &spec = r.effectiveSpec();
+        char keyBuf[160];
+        std::snprintf(keyBuf, sizeof(keyBuf), "%s|%.17g|%d|%s",
+                      spec.molecule.c_str(), spec.bond, spec.basisNg,
+                      spec.grouping.c_str());
+        if (std::find(seen.begin(), seen.end(),
+                      std::string(keyBuf)) != seen.end())
+            continue;
+        seen.push_back(keyBuf);
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n  {\"molecule\": \"%s\", "
+                      "\"bond\": %.17g, "
+                      "\"grouping\": \"%s\", \"settings\": %zu, "
+                      "\"terms\": %zu}",
+                      anyGrouping ? "," : "",
+                      spec.molecule.c_str(), spec.bond,
+                      spec.grouping.c_str(),
+                      r.result.measurementSettings,
+                      r.result.hamiltonianTerms);
+        out += buf;
+        anyGrouping = true;
+    }
+    out += anyGrouping ? "\n],\n" : "],\n";
+
+    // ---- per-job records, job order -----------------------------
+    out += "\"jobs\": [";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const SweepJobRecord &r = records[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n  {\"index\": %zu, \"status\": \"%s\", "
+                      "\"attempts\": %d",
+                      i ? "," : "", r.index,
+                      jobStatusName(r.status), r.attempts);
+        out += buf;
+        if (!r.error.empty())
+            out += ", \"error\": \"" + jsonEscape(r.error) + "\"";
+        if (emitTimings) {
+            std::snprintf(buf, sizeof(buf), ", \"wall_ms\": %.6g",
+                          r.wallMillis);
+            out += buf;
+        }
+        if (r.finished()) {
+            out += ",\n   \"result\": ";
+            ExperimentResult::JsonOptions jo;
+            jo.timings = emitTimings;
+            jo.trace = false;
+            std::string doc = r.result.json(jo);
+            while (!doc.empty() && doc.back() == '\n')
+                doc.pop_back();
+            jsonIndentInto(out, doc, 3);
+        } else {
+            out += ",\n   \"spec\": ";
+            std::string doc = r.spec.json();
+            while (!doc.empty() && doc.back() == '\n')
+                doc.pop_back();
+            jsonIndentInto(out, doc, 3);
+        }
+        out += "}";
+    }
+    out += records.empty() ? "]\n" : "\n]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+ResultStore::write() const
+{
+    const std::string path =
+        qccJsonPath("SWEEP_" + sweepName + ".json");
+    if (path.empty())
+        return {};
+    return writeTo(path);
+}
+
+std::string
+ResultStore::writeTo(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("ResultStore::writeTo: cannot write " + path);
+        return {};
+    }
+    const std::string doc = json();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+} // namespace qcc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Aggregated result store for one sweep: per-job records land in
+ * index-addressed slots as workers finish (thread-safe,
+ * completion-order independent) and serialize as one SWEEP_<name>
+ * .json document in job order — per-job status/energy/metrics plus
+ * the sweep-level summaries a study reads off directly: best energy
+ * per molecule, dissociation-curve tables (bond-sorted energy/HF/
+ * FCI rows per molecule), and measurement-settings counts per
+ * (molecule, grouping) pair for grouping-strategy comparisons.
+ * With timings disabled (SweepSpec.emitTimings = false) and no
+ * per-job timeout armed, the document is a pure function of the
+ * spec and the seed: identical bytes at concurrency 1 and N. (A
+ * soft timeout is inherently wall-clock: whether a borderline job
+ * lands done or timed_out depends on machine load, so a spec that
+ * arms one gives up byte-stability at the done/timed_out margin.)
+ */
+
+#ifndef QCC_SWEEP_RESULT_STORE_HH
+#define QCC_SWEEP_RESULT_STORE_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hh"
+#include "sweep/sweep_spec.hh"
+
+namespace qcc {
+
+/** Lifecycle of one sweep job. */
+enum class JobStatus
+{
+    Pending,  ///< not yet claimed by a worker
+    Running,  ///< claimed, in flight
+    Done,     ///< completed; result is valid
+    Failed,   ///< threw (spec/registry error or repeated failure)
+    TimedOut, ///< completed past the soft per-job budget
+    Skipped,  ///< never ran (sweep cancelled first)
+};
+
+/** JSON/status-table name ("done", "failed", ...). */
+const char *jobStatusName(JobStatus status);
+
+/** One job's record. */
+struct SweepJobRecord
+{
+    size_t index = 0;        ///< position in the expanded job list
+    ExperimentSpec spec;     ///< the job as expanded (pre-run)
+    JobStatus status = JobStatus::Pending;
+    int attempts = 0;
+    std::string error;       ///< failure diagnostic (Failed)
+    double wallMillis = 0.0;
+    /** Valid when status is Done or TimedOut (the run finished). */
+    ExperimentResult result;
+
+    bool finished() const
+    {
+        return status == JobStatus::Done ||
+               status == JobStatus::TimedOut;
+    }
+
+    /**
+     * The spec to report: the result's resolved copy once the run
+     * finished (bond/shots/seed defaults filled in), the expanded
+     * job spec otherwise.
+     */
+    const ExperimentSpec &effectiveSpec() const
+    {
+        return finished() ? result.spec : spec;
+    }
+};
+
+/** Thread-safe, deterministically ordered sweep aggregate. */
+class ResultStore
+{
+  public:
+    ResultStore(std::string sweep_name, bool emit_timings);
+
+    /** Install the expanded job list as Pending records. */
+    void reset(const std::vector<ExperimentSpec> &jobs);
+
+    /** Record one finished/failed/skipped job (thread-safe). */
+    void record(SweepJobRecord record);
+
+    /** Mark a job Running (thread-safe; progress display). */
+    void markRunning(size_t index);
+
+    const std::string &name() const { return sweepName; }
+    size_t size() const { return records.size(); }
+
+    /** Job records in index order (engine finished; no locking). */
+    const std::vector<SweepJobRecord> &jobs() const
+    {
+        return records;
+    }
+
+    size_t countWithStatus(JobStatus status) const;
+
+    /**
+     * The aggregate document: summary counters, best energy per
+     * molecule, dissociation curves, grouping settings-counts, and
+     * the per-job records in job order.
+     */
+    std::string json() const;
+
+    /**
+     * Write json() as SWEEP_<name>.json under the QCC_JSON
+     * convention; returns the path written ("" when disabled).
+     */
+    std::string write() const;
+
+    /** Write json() to an explicit path ("" on IO failure). */
+    std::string writeTo(const std::string &path) const;
+
+  private:
+    std::string sweepName;
+    bool emitTimings;
+    // Behind a pointer so the store itself stays movable (the
+    // engine returns it by value once the workers have joined).
+    mutable std::unique_ptr<std::mutex> mutex;
+    std::vector<SweepJobRecord> records;
+};
+
+} // namespace qcc
+
+#endif // QCC_SWEEP_RESULT_STORE_HH

@@ -1,0 +1,119 @@
+#include "sweep/sweep_engine.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "compiler/cache.hh"
+
+namespace qcc {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double
+millisSince(clock_type::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               clock_type::now() - t0)
+        .count();
+}
+
+} // namespace
+
+SweepEngine::SweepEngine(SweepSpec spec, SweepEngineOptions options)
+    : sweepSpec(std::move(spec)), opts(std::move(options))
+{
+    if (opts.concurrency == 0)
+        opts.concurrency = sweepSpec.concurrency;
+    if (opts.jobTimeoutMs < 0.0)
+        opts.jobTimeoutMs = sweepSpec.jobTimeoutMs;
+    if (opts.retries < 0)
+        opts.retries = sweepSpec.retries;
+}
+
+unsigned
+SweepEngine::concurrency() const
+{
+    return opts.concurrency ? opts.concurrency : parallelThreads();
+}
+
+ResultStore
+SweepEngine::run()
+{
+    // Expansion throws on malformed axes — before any job runs.
+    const std::vector<ExperimentSpec> jobs = sweepSpec.expand();
+    ResultStore store(sweepSpec.name, sweepSpec.emitTimings);
+    store.reset(jobs);
+
+    BoundedExecutor executor(concurrency());
+    executor.run(jobs.size(),
+                 [&](size_t i) { runJob(i, store); });
+    return store;
+}
+
+void
+SweepEngine::runJob(size_t index, ResultStore &store)
+{
+    SweepJobRecord rec;
+    rec.index = index;
+    rec.spec = store.jobs()[index].spec;
+
+    if (cancelToken.cancelled()) {
+        rec.status = JobStatus::Skipped;
+    } else {
+        store.markRunning(index);
+        if (opts.coldCompileCache)
+            globalCircuitCache().clear();
+
+        const auto t0 = clock_type::now();
+        const int maxAttempts = 1 + std::max(0, opts.retries);
+        for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+            rec.attempts = attempt;
+            try {
+                Experiment experiment(rec.spec);
+                rec.result = experiment.run();
+                rec.status = JobStatus::Done;
+                rec.error.clear();
+                break;
+            } catch (const SpecError &e) {
+                // A malformed spec cannot succeed on retry.
+                rec.status = JobStatus::Failed;
+                rec.error = e.what();
+                break;
+            } catch (const RegistryError &e) {
+                rec.status = JobStatus::Failed;
+                rec.error = e.what();
+                break;
+            } catch (const std::exception &e) {
+                rec.status = JobStatus::Failed;
+                rec.error = e.what();
+            }
+        }
+        rec.wallMillis = millisSince(t0);
+        if (rec.status == JobStatus::Done &&
+            opts.jobTimeoutMs > 0.0 &&
+            rec.wallMillis > opts.jobTimeoutMs) {
+            // Soft budget: the run finished, but past its allotment
+            // — keep the result for inspection, drop it from the
+            // summaries.
+            rec.status = JobStatus::TimedOut;
+        }
+    }
+
+    // Record + progress under one lock so callbacks see a
+    // consistent, monotonically growing completed count and never
+    // interleave.
+    std::lock_guard<std::mutex> lock(progressMutex);
+    store.record(std::move(rec));
+    ++completedJobs;
+    if (opts.progress) {
+        SweepProgress p;
+        p.completed = completedJobs;
+        p.total = store.size();
+        p.last = &store.jobs()[index];
+        opts.progress(p);
+    }
+}
+
+} // namespace qcc

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SweepEngine — the concurrent batch-execution service over
+ * qcc::Experiment. One engine takes a SweepSpec, expands it to an
+ * ordered job list, and drives the jobs over a bounded-concurrency
+ * executor (common/parallel): workers claim jobs from a shared
+ * counter, run each through the ordinary Experiment facade, and
+ * land records in the ResultStore's index-addressed slots, so
+ * completion order never leaks into the aggregate. Jobs share the
+ * process-wide CircuitCache and gradient BufferPool (both are
+ * mutex-guarded), which is the engine's throughput lever: repeated
+ * compilations of the same program across jobs — same molecule,
+ * different shots/seeds/bonds — rebind angles on the memoized
+ * structure instead of re-routing (bench_sweep measures the
+ * cold-vs-shared gap).
+ *
+ * Failure policy: spec/registry errors fail a job immediately (a
+ * retry cannot fix a typo'd key), other exceptions retry up to the
+ * configured budget, and every failure is recorded — one bad job
+ * never sinks the sweep. The per-job timeout is soft: C++ threads
+ * cannot be killed safely, so an over-budget job runs to completion
+ * and is then recorded as TimedOut (excluded from the summaries).
+ * Cancellation is cooperative: requestCancel() (from a progress
+ * callback or another thread) lets in-flight jobs finish and marks
+ * every unclaimed job Skipped.
+ */
+
+#ifndef QCC_SWEEP_SWEEP_ENGINE_HH
+#define QCC_SWEEP_SWEEP_ENGINE_HH
+
+#include <functional>
+
+#include "common/parallel.hh"
+#include "sweep/result_store.hh"
+#include "sweep/sweep_spec.hh"
+
+namespace qcc {
+
+/** Snapshot handed to the progress callback after each job. */
+struct SweepProgress
+{
+    size_t completed = 0; ///< jobs no longer pending/running
+    size_t total = 0;
+    /** The record that just landed (valid during the callback). */
+    const SweepJobRecord *last = nullptr;
+};
+
+/**
+ * Called after every job record lands, serialized under one lock
+ * (callbacks never interleave). The callback may call
+ * SweepEngine::requestCancel() to stop the sweep.
+ */
+using SweepProgressFn = std::function<void(const SweepProgress &)>;
+
+/** Engine execution knobs (overrides of the spec's own hints). */
+struct SweepEngineOptions
+{
+    /** Worker width; 0 defers to the spec, then QCC_THREADS. */
+    unsigned concurrency = 0;
+
+    /** Soft per-job budget in ms; < 0 defers to the spec. */
+    double jobTimeoutMs = -1.0;
+
+    /** Extra attempts after non-spec failures; < 0 defers. */
+    int retries = -1;
+
+    /**
+     * Clear the global CircuitCache before every job: the
+     * cold-cache baseline the sweep bench compares against. Only
+     * meaningful at concurrency 1 (a concurrent clear just thrashes
+     * the other workers).
+     */
+    bool coldCompileCache = false;
+
+    SweepProgressFn progress;
+};
+
+/** A validated, runnable sweep. */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepSpec spec,
+                         SweepEngineOptions options = {});
+
+    const SweepSpec &spec() const { return sweepSpec; }
+
+    /** Resolved worker width for this engine. */
+    unsigned concurrency() const;
+
+    /**
+     * Run every job; blocks until the sweep finishes (or every
+     * remaining job is skipped after a cancel). The returned store
+     * holds one record per job in job order.
+     */
+    ResultStore run();
+
+    /** Cooperative cancel: unclaimed jobs become Skipped. */
+    void requestCancel() { cancelToken.requestCancel(); }
+
+    bool cancelled() const { return cancelToken.cancelled(); }
+
+  private:
+    void runJob(size_t index, ResultStore &store);
+
+    SweepSpec sweepSpec;
+    SweepEngineOptions opts;
+    CancellationToken cancelToken;
+    std::mutex progressMutex;
+    size_t completedJobs = 0;
+};
+
+} // namespace qcc
+
+#endif // QCC_SWEEP_SWEEP_ENGINE_HH

@@ -22,18 +22,6 @@ infNorm(const std::vector<double> &v)
 
 } // namespace
 
-const char *
-evalModeName(EvalMode mode)
-{
-    switch (mode) {
-      case EvalMode::Ideal: return "ideal";
-      case EvalMode::Noisy: return "noisy";
-      case EvalMode::Sampled: return "sampled";
-      case EvalMode::NoisySampled: return "noisy_sampled";
-    }
-    return "?";
-}
-
 std::string
 VqeTrace::json() const
 {
@@ -77,15 +65,6 @@ VqeDriver::VqeDriver(const PauliSum &h, const Ansatz &a,
     traceData.mode = strategy->name();
     traceData.optimizer = optimizer->name();
     traceData.seed = opts.seed;
-}
-
-VqeDriver::VqeDriver(const PauliSum &h, const Ansatz &a,
-                     VqeDriverOptions o)
-    : VqeDriver(h, a, o,
-                makeEstimationStrategy(
-                    evalModeName(o.mode),
-                    EstimationConfig{&h, o.noise, o.sampling, {}}))
-{
 }
 
 std::unique_ptr<SimBackend>

@@ -25,9 +25,11 @@
  * without scraping stdout. All stochastic behavior derives from one
  * seed (default: the QCC_SEED-backed global seed).
  *
- * The EvalMode-enum constructor remains as a thin deprecated shim
- * over the strategy constructor (one PR); new code should go through
- * qcc::Experiment (api/experiment.hh) or inject a strategy directly.
+ * Construction is strategy-injection only (the legacy EvalMode-enum
+ * shim is gone): spec-level code goes through qcc::Experiment
+ * (api/experiment.hh) or the sweep layer (sweep/sweep_engine.hh),
+ * Hamiltonian-level code builds a strategy with
+ * makeEstimationStrategy and hands it to the driver.
  */
 
 #ifndef QCC_VQE_DRIVER_HH
@@ -52,15 +54,6 @@ namespace qcc {
 class VqeOptimizer;
 
 /**
- * Legacy evaluation-mode selector; each value resolves to the
- * estimation strategy of the same registry name.
- */
-enum class EvalMode { Ideal, Noisy, Sampled, NoisySampled };
-
-/** Registry/trace name ("ideal", "noisy", "sampled", "noisy_sampled"). */
-const char *evalModeName(EvalMode mode);
-
-/**
  * Sub-stream tags for the driver's stochastic consumers: no two
  * consumers share a stream, and optimizer strategies (SPSA) derive
  * theirs from the same table.
@@ -73,8 +66,6 @@ constexpr uint64_t kVqeStreamReadout = 4;
 /** Driver configuration. */
 struct VqeDriverOptions
 {
-    EvalMode mode = EvalMode::Ideal;
-
     enum class Method
     {
         Lbfgs,           ///< quasi-Newton, analytic shift gradients
@@ -155,14 +146,6 @@ class VqeDriver
     VqeDriver(const PauliSum &h, const Ansatz &ansatz,
               VqeDriverOptions opts,
               std::unique_ptr<EstimationStrategy> strategy);
-
-    /**
-     * Deprecated shim (kept for one PR): resolves opts.mode through
-     * the estimation registry and delegates to the strategy
-     * constructor. Prefer qcc::Experiment or strategy injection.
-     */
-    VqeDriver(const PauliSum &h, const Ansatz &ansatz,
-              VqeDriverOptions opts = {});
 
     // Not copyable or movable: shiftEngine points at this driver's
     // own ansatz member, so a relocated driver would leave the

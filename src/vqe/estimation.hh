@@ -1,8 +1,8 @@
 /**
  * @file
  * Energy-estimation strategies for the VQE driver. A strategy is the
- * composition of two orthogonal choices the legacy EvalMode enum
- * welded together:
+ * composition of two orthogonal choices (which the since-removed
+ * EvalMode enum used to weld together):
  *
  *  - a *state model*: how |psi(theta)> is realized — the ideal
  *    statevector, or the density matrix with depolarizing channels

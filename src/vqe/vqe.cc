@@ -1,9 +1,6 @@
 #include "vqe/vqe.hh"
 
-#include <optional>
-
 #include "common/logging.hh"
-#include "vqe/expectation_engine.hh"
 
 namespace qcc {
 
@@ -25,8 +22,9 @@ ansatzEnergy(SimBackend &backend, const PauliSum &h,
 {
     if (h.numQubits() != ansatz.nQubits)
         fatal("ansatzEnergy: Hamiltonian/ansatz width mismatch");
-    // One-shot evaluation: compiling a grouped engine would cost more
-    // than it saves; runVqe amortizes one over the whole optimization.
+    // One-shot evaluation: compiling a grouped engine would cost
+    // more than it saves; VqeDriver amortizes one over the whole
+    // optimization.
     backend.applyAnsatz(ansatz, params);
     return backend.expectation(h);
 }
@@ -50,97 +48,6 @@ ansatzEnergyNoisy(const PauliSum &h, const Ansatz &ansatz,
     // sweep) reuse the memoized structure and only rebind angles.
     DensityMatrixBackend backend(ansatz.nQubits, noise);
     return ansatzEnergy(backend, h, ansatz, params);
-}
-
-namespace {
-
-VqeResult
-minimize(const ObjectiveFn &energy, unsigned n_params,
-         const VqeOptions &opts)
-{
-    std::vector<double> x0(n_params, 0.0);
-    OptimizeResult opt;
-
-    switch (opts.optimizer) {
-      case VqeOptions::Optimizer::Lbfgs: {
-          LbfgsOptions lo;
-          lo.maxIter = opts.maxIter;
-          lo.fdStep = opts.fdStep;
-          lo.gtol = opts.gtol;
-          lo.ftol = opts.ftol;
-          opt = lbfgsMinimize(energy, x0, lo);
-          break;
-      }
-      case VqeOptions::Optimizer::NelderMead: {
-          NelderMeadOptions no;
-          no.maxIter = opts.maxIter * std::max(1u, n_params);
-          opt = nelderMead(energy, x0, no);
-          break;
-      }
-      case VqeOptions::Optimizer::Spsa: {
-          SpsaOptions so;
-          so.maxIter = opts.spsaIter;
-          so.seed = opts.seed;
-          opt = spsa(energy, x0, so);
-          break;
-      }
-    }
-
-    VqeResult res;
-    res.energy = opt.fun;
-    res.params = opt.x;
-    res.iterations = opt.iterations;
-    res.evals = opt.funEvals;
-    res.converged = opt.converged;
-    return res;
-}
-
-} // namespace
-
-VqeResult
-runVqe(SimBackend &backend, const PauliSum &h, const Ansatz &ansatz,
-       const VqeOptions &opts)
-{
-    if (h.numQubits() != ansatz.nQubits)
-        fatal("runVqe: Hamiltonian/ansatz width mismatch");
-    if (backend.numQubits() != ansatz.nQubits)
-        fatal("runVqe: backend/ansatz width mismatch");
-    // For pure-state backends, compile the grouped evaluator once and
-    // amortize it over the whole optimization; mixed-state backends
-    // have no per-family sweep, so their own expectation is used
-    // directly. Either way each energy evaluation re-prepares the
-    // backend in place (no per-call state allocation).
-    std::optional<ExpectationEngine> engine;
-    if (backend.statevector())
-        engine.emplace(h);
-    auto energy = [&](const std::vector<double> &x) {
-        backend.applyAnsatz(ansatz, x);
-        return engine ? engine->energy(backend)
-                      : backend.expectation(h);
-    };
-    return minimize(energy, ansatz.nParams, opts);
-}
-
-VqeResult
-runVqe(const PauliSum &h, const Ansatz &ansatz, const VqeOptions &opts)
-{
-    if (h.numQubits() != ansatz.nQubits)
-        fatal("runVqe: Hamiltonian/ansatz width mismatch");
-    StatevectorBackend backend(ansatz.nQubits);
-    return runVqe(backend, h, ansatz, opts);
-}
-
-VqeResult
-runVqeNoisy(const PauliSum &h, const Ansatz &ansatz,
-            const NoiseModel &noise, const VqeOptions &opts)
-{
-    if (h.numQubits() != ansatz.nQubits)
-        fatal("runVqeNoisy: Hamiltonian/ansatz width mismatch");
-    DensityMatrixBackend backend(ansatz.nQubits, noise);
-    VqeOptions o = opts;
-    if (o.optimizer == VqeOptions::Optimizer::Lbfgs)
-        o.optimizer = VqeOptions::Optimizer::Spsa;
-    return runVqe(backend, h, ansatz, o);
 }
 
 } // namespace qcc

@@ -1,13 +1,15 @@
 /**
  * @file
- * VQE driver (Section II-B). The inner loop evaluates
+ * VQE primitives (Section II-B): the ansatz-state preparation and
+ * single-point energy evaluations every layer above builds on —
  * E(theta) = sum_i w_i <psi(theta)| P_i |psi(theta)> through the
- * pluggable SimBackend interface: the ideal statevector backend
- * replays the ansatz with direct Pauli-rotation kernels and evaluates
- * <H> with the grouped ExpectationEngine, while the density-matrix
- * backend reproduces the noisy case studies of Section VI-D. The
- * outer loop minimizes E with a classical optimizer, and its
- * iteration count is the paper's convergence-speed metric.
+ * pluggable SimBackend interface, with the density-matrix backend
+ * reproducing the noisy case studies of Section VI-D. The
+ * optimization loop itself lives in VqeDriver (vqe/driver.hh),
+ * driven through an EstimationStrategy and a VqeOptimizer; the
+ * legacy runVqe/runVqeNoisy convenience wrappers (and their
+ * VqeOptions) are gone — spec-level code goes through
+ * qcc::Experiment, Hamiltonian-level code through the driver.
  */
 
 #ifndef QCC_VQE_VQE_HH
@@ -16,7 +18,6 @@
 #include <vector>
 
 #include "ansatz/uccsd.hh"
-#include "common/optimize.hh"
 #include "common/rng.hh"
 #include "pauli/pauli_sum.hh"
 #include "sim/backend.hh"
@@ -24,20 +25,6 @@
 #include "sim/statevector.hh"
 
 namespace qcc {
-
-/** Optimizer selection and run limits. */
-struct VqeOptions
-{
-    enum class Optimizer { Lbfgs, NelderMead, Spsa };
-    Optimizer optimizer = Optimizer::Lbfgs;
-    int maxIter = 200;
-    double fdStep = 1e-5;     ///< finite-difference gradient step
-    double gtol = 1e-5;       ///< L-BFGS gradient tolerance
-    double ftol = 1e-9;       ///< relative energy-change tolerance
-    int spsaIter = 250;       ///< SPSA iteration budget
-    /** SPSA seed; follows QCC_SEED (default 2021) via globalSeed. */
-    uint64_t seed = globalSeed();
-};
 
 /** VQE outcome. */
 struct VqeResult
@@ -74,23 +61,6 @@ double ansatzEnergy(const PauliSum &h, const Ansatz &ansatz,
 double ansatzEnergyNoisy(const PauliSum &h, const Ansatz &ansatz,
                          const std::vector<double> &params,
                          const NoiseModel &noise);
-
-/**
- * Minimize the VQE energy from a zero start against any backend. The
- * backend is reused (re-prepared) across every energy evaluation, so
- * no per-iteration state allocation occurs.
- */
-VqeResult runVqe(SimBackend &backend, const PauliSum &h,
-                 const Ansatz &ansatz, const VqeOptions &opts = {});
-
-/** Minimize the noise-free VQE energy from a zero start. */
-VqeResult runVqe(const PauliSum &h, const Ansatz &ansatz,
-                 const VqeOptions &opts = {});
-
-/** Minimize the noisy VQE energy (SPSA by default). */
-VqeResult runVqeNoisy(const PauliSum &h, const Ansatz &ansatz,
-                      const NoiseModel &noise,
-                      const VqeOptions &opts = {});
 
 } // namespace qcc
 

@@ -3,7 +3,8 @@
  * Tests for the pluggable SimBackend interface: statevector and
  * density-matrix backends agree in the noiseless limit, the noisy
  * backend reproduces the chain-synthesized noisy energies, and the
- * VQE driver runs unmodified against either backend.
+ * VQE driver runs unmodified against either state model (strategy
+ * injection over statevectorModel / densityMatrixModel).
  */
 
 #include <cmath>
@@ -15,6 +16,8 @@
 #include "ferm/hamiltonian.hh"
 #include "sim/backend.hh"
 #include "sim/lanczos.hh"
+#include "vqe/driver.hh"
+#include "vqe/estimation.hh"
 #include "vqe/expectation_engine.hh"
 #include "vqe/vqe.hh"
 
@@ -38,6 +41,17 @@ randomParams(unsigned n, uint64_t seed)
     for (auto &v : p)
         v = rng.uniform(-0.3, 0.3);
     return p;
+}
+
+/** Minimize through a caller-chosen state model (analytic readout). */
+VqeResult
+minimizeOn(StateModel model, const PauliSum &h, const Ansatz &a,
+           VqeDriverOptions opts = {})
+{
+    VqeDriver driver(h, a, opts,
+                     std::make_unique<AnalyticEstimation>(
+                         h, std::move(model), "backend-test"));
+    return driver.run();
 }
 
 } // namespace
@@ -162,22 +176,22 @@ TEST(Backend, VqeRunsAgainstEitherBackend)
     Ansatz a = buildUccsd(prob.nSpatial, prob.nElectrons);
     double exact = lanczosGroundEnergy(prob.hamiltonian);
 
-    StatevectorBackend ideal(a.nQubits);
-    VqeResult rIdeal = runVqe(ideal, prob.hamiltonian, a);
+    VqeResult rIdeal =
+        minimizeOn(statevectorModel(a.nQubits), prob.hamiltonian, a);
     EXPECT_NEAR(rIdeal.energy, exact, 1e-6);
     EXPECT_TRUE(rIdeal.converged);
 
-    DensityMatrixBackend pure(a.nQubits);
-    VqeResult rPure = runVqe(pure, prob.hamiltonian, a);
+    VqeResult rPure = minimizeOn(
+        densityMatrixModel(a.nQubits, {}), prob.hamiltonian, a);
     EXPECT_NEAR(rPure.energy, exact, 1e-6);
 
     NoiseModel nm;
     nm.cnotDepolarizing = 1e-3;
-    DensityMatrixBackend noisy(a.nQubits, nm);
-    VqeOptions o;
-    o.optimizer = VqeOptions::Optimizer::Spsa;
+    VqeDriverOptions o;
+    o.method = VqeDriverOptions::Method::Spsa;
     o.spsaIter = 120;
-    VqeResult rNoisy = runVqe(noisy, prob.hamiltonian, a, o);
+    VqeResult rNoisy = minimizeOn(densityMatrixModel(a.nQubits, nm),
+                                  prob.hamiltonian, a, o);
     EXPECT_GT(rNoisy.energy, exact - 1e-9);
     EXPECT_NEAR(rNoisy.energy, exact, 0.05);
 }

@@ -12,6 +12,7 @@
 #include "chem/molecules.hh"
 #include "ferm/hamiltonian.hh"
 #include "sim/lanczos.hh"
+#include "vqe_test_util.hh"
 #include "vqe/vqe.hh"
 
 using namespace qcc;
@@ -126,7 +127,7 @@ TEST(Compression, MoreParametersMoreAccuracy)
     for (double ratio : {0.4, 0.7, 1.0}) {
         CompressedAnsatz c =
             compressAnsatz(full, prob.hamiltonian, ratio);
-        VqeResult r = runVqe(prob.hamiltonian, c.ansatz);
+        VqeResult r = qcc_test::minimizeIdeal(prob.hamiltonian, c.ansatz);
         double err = r.energy - exact;
         EXPECT_GE(err, -1e-9); // variational
         EXPECT_LE(err, prevErr + 1e-9);

@@ -3,8 +3,8 @@
  * Tests for the qcc::Experiment facade layer: ExperimentSpec JSON
  * round-tripping, registry diagnostics (unknown keys must list the
  * registered names), the architecture parser, builder fluency, and
- * the contract that a facade run reproduces the legacy VqeDriver
- * path bit-for-bit at a fixed seed — plus the NoisySampled
+ * the contract that a facade run reproduces a hand-wired VqeDriver
+ * (strategy injection) bit-for-bit at a fixed seed — plus the NoisySampled
  * composition smoke check.
  */
 
@@ -132,7 +132,7 @@ TEST(Experiment, UnknownOptimizerListsRegisteredNames)
 TEST(Experiment, UnknownGroupingAndPresetDiagnosed)
 {
     ExperimentSpec s;
-    s.grouping = "graph-coloring";
+    s.grouping = "rainbow";
     EXPECT_THROW(Experiment bad(s), RegistryError);
 
     ExperimentSpec p;
@@ -206,6 +206,7 @@ TEST(Experiment, RegistriesExposeTheBuiltInComponents)
     EXPECT_EQ(optimizerRegistry().size(), 4u);
     EXPECT_TRUE(groupingRegistry().contains("greedy"));
     EXPECT_TRUE(groupingRegistry().contains("sorted-insertion"));
+    EXPECT_TRUE(groupingRegistry().contains("graph-coloring"));
     EXPECT_TRUE(pipelinePresetRegistry().contains("chain"));
     EXPECT_TRUE(estimationRegistry().contains("noisy_sampled"));
 
@@ -240,7 +241,11 @@ TEST(Experiment, FacadeMatchesLegacyDriverBitForBit)
     MolecularProblem prob =
         buildMolecularProblem(benchmarkMolecule("H2"), 0.74);
     Ansatz ansatz = buildUccsd(prob.nSpatial, prob.nElectrons);
-    VqeDriver legacy(prob.hamiltonian, ansatz, {});
+    VqeDriver legacy(
+        prob.hamiltonian, ansatz, {},
+        makeEstimationStrategy(
+            "ideal",
+            EstimationConfig{&prob.hamiltonian, {}, {}, {}}));
     VqeResult legacyRes = legacy.run();
 
     ExperimentBuilder b = Experiment::builder();
@@ -259,11 +264,15 @@ TEST(Experiment, SampledFacadeMatchesLegacySampledDriver)
         buildMolecularProblem(benchmarkMolecule("H2"), 0.74);
     Ansatz ansatz = buildUccsd(prob.nSpatial, prob.nElectrons);
     VqeDriverOptions o;
-    o.mode = EvalMode::Sampled;
     o.method = VqeDriverOptions::Method::Spsa;
     o.spsaIter = 30;
     o.sampling.shots = 2048;
-    VqeDriver legacy(prob.hamiltonian, ansatz, o);
+    VqeDriver legacy(
+        prob.hamiltonian, ansatz, o,
+        makeEstimationStrategy(
+            "sampled",
+            EstimationConfig{&prob.hamiltonian, o.noise, o.sampling,
+                             {}}));
     VqeResult legacyRes = legacy.run();
 
     ExperimentBuilder b = Experiment::builder();

@@ -46,6 +46,15 @@ constexpr double kVqeTol = 2e-6;
 // Chemical accuracy, the paper's end-to-end bar.
 constexpr double kChemicalAccuracy = 1.6e-3;
 
+// Pinned BeH2 references: the repo's 12-qubit symmetric-stretch
+// problem at 1.33 A (Table I row). The sampled-VQE pin is the
+// seeded end-to-end shot-noise run (50% compressed UCCSD, SPSA,
+// 16384 shots/estimate) captured from the implementation at the
+// default QCC_SEED.
+constexpr double kBeH2HartreeFock = -15.555777257802;
+constexpr double kBeH2Fci = -15.590371791727;
+constexpr double kBeH2Sampled = -15.555003;
+
 // Seeded noisy-sampled H2 energy (QCC_SEED=2021 default): SPSA on
 // the density-matrix state with shot readout, paper noise model.
 // Captured from the seeded implementation (about 4.4 mHa above the
@@ -144,6 +153,43 @@ TEST(GoldenEnergies, GradientDriverReachesGolden_H2)
         EXPECT_NEAR(res.energy(), kH2Fci, kVqeTol)
             << "optimizer " << optimizer;
     }
+}
+
+TEST(GoldenEnergies, BeH2HartreeFockAndFci)
+{
+    // The larger-molecule row: 12 qubits, 92 full UCCSD parameters.
+    setVerbose(false);
+    MolecularProblem prob =
+        buildMolecularProblem(benchmarkMolecule("BeH2"), 1.33);
+    EXPECT_EQ(prob.nQubits, 12u);
+    EXPECT_NEAR(prob.hartreeFockEnergy, kBeH2HartreeFock, kPinTol);
+    EXPECT_NEAR(lanczosGroundEnergy(prob.hamiltonian), kBeH2Fci,
+                kPinTol);
+    // Correlation energy must stay significant (~34.6 mHa).
+    EXPECT_NEAR(kBeH2HartreeFock - kBeH2Fci, 0.034594533925,
+                kPinTol);
+}
+
+TEST(GoldenEnergies, BeH2SampledVqeMatchesPinnedValue)
+{
+    // Seeded shot-based run on the 12-qubit problem — cheap now
+    // that every energy evaluation reuses the grouped sampling
+    // engine and the batched gradient scratch comes from the shared
+    // BufferPool. The pinned value is the captured seeded result;
+    // the run must replay within chemical accuracy of it and can
+    // only sit above the FCI floor (up to the shot-noise margin).
+    ExperimentResult res = experimentOn("BeH2", 1.33)
+                               .compression(0.5)
+                               .mode("sampled")
+                               .optimizer("spsa")
+                               .spsaIter(250)
+                               .shots(16384)
+                               .build()
+                               .run();
+    EXPECT_GT(res.shots, uint64_t{0});
+    EXPECT_NEAR(res.energy(), kBeH2Sampled, kChemicalAccuracy);
+    EXPECT_GE(res.energy(), kBeH2Fci - kChemicalAccuracy);
+    EXPECT_LT(res.energy(), kBeH2HartreeFock + kChemicalAccuracy);
 }
 
 TEST(GoldenEnergies, SampledVqeWithinChemicalAccuracy_H2)

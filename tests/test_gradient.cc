@@ -259,14 +259,20 @@ TEST(Gradient, SampledGradientSeededAndBatchingInvariant)
     const Fixture &fix = h2();
     auto params = testParams(fix.ansatz.nParams);
     VqeDriverOptions o;
-    o.mode = EvalMode::Sampled;
     o.sampling.shots = 4096;
+    auto sampled = [&](const VqeDriverOptions &opts) {
+        return makeEstimationStrategy(
+            "sampled",
+            EstimationConfig{&fix.prob.hamiltonian, opts.noise,
+                             opts.sampling, {}});
+    };
 
-    VqeDriver d1(fix.prob.hamiltonian, fix.ansatz, o);
-    VqeDriver d2(fix.prob.hamiltonian, fix.ansatz, o);
+    VqeDriver d1(fix.prob.hamiltonian, fix.ansatz, o, sampled(o));
+    VqeDriver d2(fix.prob.hamiltonian, fix.ansatz, o, sampled(o));
     VqeDriverOptions serial = o;
     serial.gradient.batched = false;
-    VqeDriver d3(fix.prob.hamiltonian, fix.ansatz, serial);
+    VqeDriver d3(fix.prob.hamiltonian, fix.ansatz, serial,
+                 sampled(serial));
 
     auto g1 = d1.gradient(params);
     auto g2 = d2.gradient(params);
@@ -325,7 +331,11 @@ TEST(Gradient, DescentWithAnalyticGradientsReachesFci)
         VqeDriverOptions o;
         o.method = method;
         o.maxIter = 300;
-        VqeDriver driver(fix.prob.hamiltonian, fix.ansatz, o);
+        VqeDriver driver(
+            fix.prob.hamiltonian, fix.ansatz, o,
+            makeEstimationStrategy(
+                "ideal",
+                EstimationConfig{&fix.prob.hamiltonian, {}, {}, {}}));
         VqeResult res = driver.run();
         EXPECT_NEAR(res.energy, exact, 1e-5) << int(method);
         EXPECT_TRUE(res.converged) << int(method);

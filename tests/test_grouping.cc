@@ -28,9 +28,11 @@ expectValidPartition(const PauliSum &h,
             ++seen[g.termIndices[i]];
             const PauliString &p =
                 h.terms()[g.termIndices[i]].string;
-            for (unsigned q = 0; q < p.numQubits(); ++q)
-                if (p.op(q) != PauliOp::I)
+            for (unsigned q = 0; q < p.numQubits(); ++q) {
+                if (p.op(q) != PauliOp::I) {
                     EXPECT_EQ(p.op(q), g.basis.op(q));
+                }
+            }
             for (size_t j = i + 1; j < g.termIndices.size(); ++j)
                 EXPECT_TRUE(qubitWiseCommute(
                     p, h.terms()[g.termIndices[j]].string));
@@ -146,6 +148,52 @@ TEST(Grouping, SortedInsertionIsValidPartition)
     }
 }
 
+TEST(Grouping, GraphColoringIsValidPartition)
+{
+    for (const char *name : {"H2", "LiH"}) {
+        const auto &entry = benchmarkMolecule(name);
+        MolecularProblem prob =
+            buildMolecularProblem(entry, entry.equilibriumBond);
+        expectValidPartition(
+            prob.hamiltonian,
+            groupQubitWiseColoring(prob.hamiltonian));
+    }
+}
+
+TEST(Grouping, GraphColoringCutsSettingsVsBothInsertionOrders)
+{
+    // Settings-count comparison of the three registered strategies
+    // on the Table I Hamiltonians. DSATUR's global conflict view
+    // never needs more settings than either one-pass insertion
+    // order here, and is strictly better than greedy on the larger
+    // problems (measured: NaH 33 vs 34, HF 56 vs 59, BeH2 53 vs
+    // 60 — and it beats sorted-insertion there too).
+    size_t greedyTotal = 0, sortedTotal = 0, coloringTotal = 0;
+    for (const char *name : {"H2", "LiH", "NaH", "HF", "BeH2"}) {
+        const auto &entry = benchmarkMolecule(name);
+        MolecularProblem prob =
+            buildMolecularProblem(entry, entry.equilibriumBond);
+        const size_t greedy =
+            groupQubitWise(prob.hamiltonian).size();
+        const size_t sorted =
+            groupQubitWiseSorted(prob.hamiltonian).size();
+        const size_t coloring =
+            groupQubitWiseColoring(prob.hamiltonian).size();
+        greedyTotal += greedy;
+        sortedTotal += sorted;
+        coloringTotal += coloring;
+        EXPECT_LE(coloring, greedy) << name;
+        EXPECT_LE(coloring, sorted) << name;
+        if (std::string(name) == "NaH" ||
+            std::string(name) == "HF" ||
+            std::string(name) == "BeH2") {
+            EXPECT_LT(coloring, greedy) << name;
+        }
+    }
+    EXPECT_LT(coloringTotal, greedyTotal);
+    EXPECT_LT(coloringTotal, sortedTotal);
+}
+
 TEST(Grouping, SortedInsertionCutsSettingsOnLargerHamiltonians)
 {
     // Settings-count comparison of the two registered strategies.
@@ -165,8 +213,9 @@ TEST(Grouping, SortedInsertionCutsSettingsOnLargerHamiltonians)
         sortedTotal += sorted;
         EXPECT_LE(sorted, greedy + 1) << name;
         if (std::string(name) == "HF" ||
-            std::string(name) == "BeH2")
+            std::string(name) == "BeH2") {
             EXPECT_LT(sorted, greedy) << name;
+        }
     }
     EXPECT_LT(sortedTotal, greedyTotal);
 }

@@ -19,6 +19,7 @@
 #include "compiler/verify.hh"
 #include "ferm/hamiltonian.hh"
 #include "sim/lanczos.hh"
+#include "vqe_test_util.hh"
 #include "vqe/vqe.hh"
 
 using namespace qcc;
@@ -31,7 +32,7 @@ TEST(Integration, CompiledCircuitReproducesVqeEnergy)
     MolecularProblem prob =
         buildMolecularProblem(benchmarkMolecule("H2"), 0.74);
     Ansatz a = buildUccsd(prob.nSpatial, prob.nElectrons);
-    VqeResult res = runVqe(prob.hamiltonian, a);
+    VqeResult res = qcc_test::minimizeIdeal(prob.hamiltonian, a);
 
     XTree tree = makeXTree(5);
     MtrResult mtr = mergeToRootCompile(a, res.params, tree, true);
@@ -64,7 +65,8 @@ TEST(Integration, LiHDissociationCurveShape)
         Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
         CompressedAnsatz c =
             compressAnsatz(full, prob.hamiltonian, 0.5);
-        energies.push_back(runVqe(prob.hamiltonian, c.ansatz).energy);
+        energies.push_back(
+            qcc_test::minimizeIdeal(prob.hamiltonian, c.ansatz).energy);
     }
     EXPECT_LT(energies[1], energies[0]);
     EXPECT_LT(energies[1], energies[2]);
@@ -80,14 +82,16 @@ TEST(Integration, ImportanceBeatsRandomAtEqualBudget)
 
     CompressedAnsatz smart =
         compressAnsatz(full, prob.hamiltonian, 0.5);
-    double eSmart = runVqe(prob.hamiltonian, smart.ansatz).energy;
+    double eSmart =
+        qcc_test::minimizeIdeal(prob.hamiltonian, smart.ansatz).energy;
 
     double eRandSum = 0.0;
     const int trials = 3;
     for (int t = 0; t < trials; ++t) {
         Rng rng(100 + t);
         CompressedAnsatz rnd = randomCompress(full, 0.5, rng);
-        eRandSum += runVqe(prob.hamiltonian, rnd.ansatz).energy;
+        eRandSum +=
+            qcc_test::minimizeIdeal(prob.hamiltonian, rnd.ansatz).energy;
     }
     EXPECT_LE(eSmart, eRandSum / trials + 1e-9);
 }
@@ -128,7 +132,7 @@ TEST(Integration, EndToEndNaHGroundState)
     Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
     CompressedAnsatz comp =
         compressAnsatz(full, prob.hamiltonian, 0.5);
-    VqeResult res = runVqe(prob.hamiltonian, comp.ansatz);
+    VqeResult res = qcc_test::minimizeIdeal(prob.hamiltonian, comp.ansatz);
 
     EXPECT_GE(res.energy, exact - 1e-9);
     EXPECT_LT(res.energy - exact, 5e-3); // paper: ~0.05% level

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the sweep subsystem: SweepSpec JSON round-tripping and
+ * axis expansion (cartesian order, numeric ranges, explicit jobs),
+ * engine determinism (byte-identical SWEEP json at concurrency 1
+ * and N under one seed), failure isolation (a bad job is recorded,
+ * the sweep continues), the soft per-job timeout, cooperative
+ * mid-sweep cancellation, and cross-job sharing of the global
+ * compile cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "compiler/cache.hh"
+#include "sweep/sweep_engine.hh"
+
+using namespace qcc;
+
+namespace {
+
+struct VerboseSilencer
+{
+    VerboseSilencer() { setVerbose(false); }
+} silencer;
+
+/** Cheap stochastic H2 sweep: grouping x seed, 4 jobs. */
+SweepSpec
+smallSweep()
+{
+    return SweepSpec::fromJson(R"({
+      "name": "unit",
+      "base": {
+        "molecule": "H2", "bond": 0.74, "mode": "sampled",
+        "optimizer": "spsa", "spsa_iter": 10, "shots": 1024,
+        "reference": false
+      },
+      "axes": {
+        "grouping": ["greedy", "graph-coloring"],
+        "seed": [2021, 2022]
+      },
+      "emit_timings": false
+    })");
+}
+
+} // namespace
+
+TEST(SweepSpec, JsonRoundTripReproducesTheSpec)
+{
+    SweepSpec spec = smallSweep();
+    spec.concurrency = 3;
+    spec.jobTimeoutMs = 1500.0;
+    spec.retries = 2;
+    ExperimentSpec extra;
+    extra.molecule = "LiH";
+    extra.bond = 1.6;
+    spec.explicitJobs.push_back(extra);
+
+    const std::string doc = spec.json();
+    SweepSpec back = SweepSpec::fromJson(doc);
+    EXPECT_EQ(back.json(), doc);
+    EXPECT_EQ(back.name, spec.name);
+    EXPECT_EQ(back.concurrency, 3u);
+    EXPECT_EQ(back.jobTimeoutMs, 1500.0);
+    EXPECT_EQ(back.retries, 2);
+    EXPECT_FALSE(back.emitTimings);
+    ASSERT_EQ(back.axes.size(), 2u);
+    EXPECT_EQ(back.axes[0].field, "grouping");
+    EXPECT_EQ(back.axes[1].values.size(), 2u);
+    ASSERT_EQ(back.explicitJobs.size(), 1u);
+    EXPECT_EQ(back.explicitJobs[0].molecule, "LiH");
+
+    // Expansion agrees job for job.
+    const auto a = spec.expand(), b = back.expand();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].json(), b[i].json()) << i;
+}
+
+TEST(SweepSpec, CartesianExpansionOrderIsDocumentOrder)
+{
+    SweepSpec spec = smallSweep();
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 4u);
+    // First axis (grouping) slowest, second (seed) fastest.
+    EXPECT_EQ(jobs[0].grouping, "greedy");
+    EXPECT_EQ(jobs[0].seed, uint64_t{2021});
+    EXPECT_EQ(jobs[1].grouping, "greedy");
+    EXPECT_EQ(jobs[1].seed, uint64_t{2022});
+    EXPECT_EQ(jobs[2].grouping, "graph-coloring");
+    EXPECT_EQ(jobs[2].seed, uint64_t{2021});
+    EXPECT_EQ(jobs[3].grouping, "graph-coloring");
+    EXPECT_EQ(jobs[3].seed, uint64_t{2022});
+    // Base fields flow into every job.
+    for (const auto &j : jobs) {
+        EXPECT_EQ(j.molecule, "H2");
+        EXPECT_EQ(j.shots, uint64_t{1024});
+    }
+}
+
+TEST(SweepSpec, RangeAxisExpandsEndpointInclusive)
+{
+    SweepSpec spec = SweepSpec::fromJson(R"({
+      "base": {"molecule": "LiH"},
+      "axes": {"bond": {"from": 1.0, "to": 2.6, "step": 0.2}}
+    })");
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 9u);
+    EXPECT_DOUBLE_EQ(jobs.front().bond, 1.0);
+    EXPECT_NEAR(jobs.back().bond, 2.6, 1e-12);
+    for (size_t i = 1; i < jobs.size(); ++i)
+        EXPECT_NEAR(jobs[i].bond - jobs[i - 1].bond, 0.2, 1e-12);
+
+    // A span that is not a whole number of steps must stop short of
+    // `to`, never overshoot it.
+    SweepSpec ragged = SweepSpec::fromJson(R"({
+      "base": {"molecule": "LiH"},
+      "axes": {"bond": {"from": 1.0, "to": 2.0, "step": 0.4}}
+    })");
+    const auto rjobs = ragged.expand();
+    ASSERT_EQ(rjobs.size(), 3u);
+    EXPECT_NEAR(rjobs.back().bond, 1.8, 1e-12);
+}
+
+TEST(SweepSpec, ExplicitJobsInheritBaseRegardlessOfKeyOrder)
+{
+    // JSON object key order must not change semantics: a document
+    // that lists "jobs" before "base" still expands the jobs over
+    // the base defaults.
+    SweepSpec spec = SweepSpec::fromJson(R"({
+      "jobs": [ {"bond": 1.6} ],
+      "base": {"molecule": "LiH", "compression": 0.5}
+    })");
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].molecule, "LiH");
+    EXPECT_EQ(jobs[0].compression, 0.5);
+    EXPECT_EQ(jobs[0].bond, 1.6);
+}
+
+TEST(SweepSpec, DiagnosticsNameTheOffendingElement)
+{
+    // Unknown axis field -> SpecError with the field name.
+    EXPECT_THROW(SweepSpec::fromJson(
+                     R"({"axes": {"warp": [1, 2]}})"),
+                 SpecError);
+    // Ill-typed axis value.
+    EXPECT_THROW(SweepSpec::fromJson(
+                     R"({"axes": {"bond": ["x"]}})"),
+                 SpecError);
+    // Unknown sweep-level field.
+    try {
+        SweepSpec::fromJson(R"({"jobz": []})");
+        FAIL() << "unknown sweep field accepted";
+    } catch (const SweepError &e) {
+        EXPECT_EQ(e.element(), "jobz");
+    }
+    // Malformed ranges.
+    EXPECT_THROW(SweepSpec::fromJson(
+                     R"({"axes": {"bond": {"from": 1, "to": 2}}})"),
+                 SweepError);
+    EXPECT_THROW(
+        SweepSpec::fromJson(
+            R"({"axes": {"bond": {"from": 2, "to": 1, "step": 1}}})"),
+        SweepError);
+    // Wild ranges must fail with a diagnostic, not cast-UB or OOM.
+    EXPECT_THROW(
+        SweepSpec::fromJson(R"({"axes": {"bond":
+            {"from": 0, "to": 1e300, "step": 1e-300}}})"),
+        SweepError);
+    EXPECT_THROW(
+        SweepSpec::fromJson(R"({"axes": {"bond":
+            {"from": 0, "to": 1e12, "step": 1e-6}}})"),
+        SweepError);
+    // A bare base is a one-job sweep; empty axis lists are not.
+    EXPECT_EQ(SweepSpec::fromJson("{}").expand().size(), 1u);
+    EXPECT_THROW(SweepSpec::fromJson(R"({"axes": {"seed": []}})"),
+                 SweepError);
+}
+
+TEST(SweepEngine, ByteIdenticalAggregateAtConcurrency1AndN)
+{
+    // The determinism contract: with timings off, the SWEEP json is
+    // a pure function of (spec, QCC_SEED) — scheduling must never
+    // leak in. Run the same stochastic sweep serially and on four
+    // workers and diff the documents byte for byte.
+    SweepEngineOptions serial;
+    serial.concurrency = 1;
+    ResultStore s1 = SweepEngine(smallSweep(), serial).run();
+
+    SweepEngineOptions wide;
+    wide.concurrency = 4;
+    ResultStore s4 = SweepEngine(smallSweep(), wide).run();
+
+    EXPECT_EQ(s1.countWithStatus(JobStatus::Done), 4u);
+    EXPECT_EQ(s1.json(), s4.json());
+
+    // And the jobs really differ from one another (distinct seeds).
+    EXPECT_NE(s1.jobs()[0].result.energy(),
+              s1.jobs()[1].result.energy());
+}
+
+TEST(SweepEngine, FailedJobIsRecordedAndTheSweepContinues)
+{
+    SweepSpec spec = smallSweep();
+    ExperimentSpec bad = spec.base;
+    bad.molecule = "C60"; // not in the catalog
+    ExperimentSpec worse = spec.base;
+    worse.grouping = "rainbow"; // not a registered strategy
+    spec.explicitJobs.push_back(bad);
+    spec.explicitJobs.push_back(worse);
+
+    ResultStore store = SweepEngine(spec).run();
+    EXPECT_EQ(store.countWithStatus(JobStatus::Done), 4u);
+    EXPECT_EQ(store.countWithStatus(JobStatus::Failed), 2u);
+    const SweepJobRecord &molFail = store.jobs()[4];
+    EXPECT_EQ(molFail.status, JobStatus::Failed);
+    EXPECT_NE(molFail.error.find("molecule"), std::string::npos);
+    // Spec errors fail fast: no retry can fix a typo'd key.
+    EXPECT_EQ(molFail.attempts, 1);
+    const SweepJobRecord &grpFail = store.jobs()[5];
+    EXPECT_NE(grpFail.error.find("rainbow"), std::string::npos);
+
+    // The aggregate records both outcomes.
+    const std::string doc = store.json();
+    EXPECT_NE(doc.find("\"failed\": 2"), std::string::npos);
+    EXPECT_NE(doc.find("rainbow"), std::string::npos);
+}
+
+TEST(SweepEngine, SoftTimeoutDemotesOverBudgetJobs)
+{
+    SweepSpec spec = smallSweep();
+    spec.jobTimeoutMs = 1e-6; // everything blows the budget
+    ResultStore store = SweepEngine(spec).run();
+    EXPECT_EQ(store.countWithStatus(JobStatus::TimedOut), 4u);
+    // The runs still finished; their results stay inspectable.
+    for (const auto &r : store.jobs()) {
+        EXPECT_TRUE(r.finished());
+        EXPECT_LT(r.result.energy(), 0.0);
+    }
+    // ...but they are out of the summaries.
+    EXPECT_NE(store.json().find("\"best_energy\": []"),
+              std::string::npos);
+}
+
+TEST(SweepEngine, CancellationSkipsUnclaimedJobs)
+{
+    // Serial engine, cancel after the second completion: jobs 0-1
+    // are recorded done, jobs 2-3 never run.
+    SweepEngineOptions opts;
+    opts.concurrency = 1;
+    SweepEngine *handle = nullptr;
+    opts.progress = [&handle](const SweepProgress &p) {
+        if (p.completed == 2)
+            handle->requestCancel();
+    };
+    SweepEngine engine(smallSweep(), opts);
+    handle = &engine;
+    ResultStore store = engine.run();
+
+    EXPECT_TRUE(engine.cancelled());
+    EXPECT_EQ(store.countWithStatus(JobStatus::Done), 2u);
+    EXPECT_EQ(store.countWithStatus(JobStatus::Skipped), 2u);
+    EXPECT_EQ(store.jobs()[0].status, JobStatus::Done);
+    EXPECT_EQ(store.jobs()[3].status, JobStatus::Skipped);
+    // Skipped jobs still carry their spec in the aggregate.
+    EXPECT_NE(store.json().find("\"skipped\": 2"),
+              std::string::npos);
+}
+
+TEST(SweepEngine, JobsShareTheGlobalCompileCache)
+{
+    if (!circuitCacheEnabled())
+        GTEST_SKIP() << "QCC_COMPILE_CACHE=0 in the environment";
+    // Three seed-varied compiled jobs: the first misses, the rest
+    // rebind the shared entry.
+    SweepSpec spec = SweepSpec::fromJson(R"({
+      "name": "cache",
+      "base": {
+        "molecule": "H2", "bond": 0.74, "optimizer": "spsa",
+        "spsa_iter": 2, "reference": false,
+        "pipeline": "mtr", "architecture": "xtree5"
+      },
+      "axes": {"seed": [1, 2, 3]}
+    })");
+    globalCircuitCache().clear();
+    const CacheStats before = globalCircuitCache().stats();
+    SweepEngineOptions opts;
+    opts.concurrency = 1;
+    ResultStore store = SweepEngine(spec, opts).run();
+    const CacheStats after = globalCircuitCache().stats();
+
+    EXPECT_EQ(store.countWithStatus(JobStatus::Done), 3u);
+    EXPECT_GE(after.hits - before.hits, size_t{2});
+    // All three jobs compiled the same structure.
+    EXPECT_EQ(store.jobs()[0].result.compiled.cnots,
+              store.jobs()[2].result.compiled.cnots);
+}
+
+TEST(SweepEngine, AggregateCarriesCurvesAndSummaries)
+{
+    SweepSpec spec = SweepSpec::fromJson(R"({
+      "name": "curve",
+      "base": {"molecule": "H2", "compression": 0.67},
+      "axes": {"bond": [0.6, 0.74, 1.0]},
+      "emit_timings": false
+    })");
+    ResultStore store = SweepEngine(spec).run();
+    ASSERT_EQ(store.countWithStatus(JobStatus::Done), 3u);
+
+    const std::string doc = store.json();
+    EXPECT_NE(doc.find("\"curves\""), std::string::npos);
+    EXPECT_NE(doc.find("\"best_energy\""), std::string::npos);
+    EXPECT_NE(doc.find("\"grouping_settings\""), std::string::npos);
+    EXPECT_NE(doc.find("\"fci\""), std::string::npos);
+    // Timings are volatile; the deterministic document drops them.
+    EXPECT_EQ(doc.find("\"wall_ms\""), std::string::npos);
+    EXPECT_EQ(doc.find("\"timing_ms\""), std::string::npos);
+
+    // The equilibrium point wins the best-energy summary.
+    const auto &jobs = store.jobs();
+    EXPECT_LT(jobs[1].result.energy(), jobs[0].result.energy());
+    EXPECT_LT(jobs[1].result.energy(), jobs[2].result.energy());
+    EXPECT_NE(doc.find("\"molecule\": \"H2\", \"job\": 1"),
+              std::string::npos);
+}

@@ -1,8 +1,10 @@
 /**
  * @file
- * Unit tests for the VQE driver: exactness on H2, variational
- * bounds, convergence-iteration behaviour under compression, and the
- * noisy (density-matrix) energy path.
+ * Unit tests for the VQE layer: exactness on H2, variational
+ * bounds, convergence-iteration behaviour under compression, and
+ * the noisy (density-matrix) energy path — all through the
+ * strategy-injected VqeDriver (the legacy runVqe wrappers are
+ * gone).
  */
 
 #include <cmath>
@@ -12,7 +14,7 @@
 #include "chem/molecules.hh"
 #include "ferm/hamiltonian.hh"
 #include "sim/lanczos.hh"
-#include "vqe/vqe.hh"
+#include "vqe_test_util.hh"
 
 using namespace qcc;
 
@@ -25,6 +27,8 @@ h2Problem()
         buildMolecularProblem(benchmarkMolecule("H2"), 0.74);
     return prob;
 }
+
+using qcc_test::minimizeMode;
 
 } // namespace
 
@@ -41,7 +45,7 @@ TEST(Vqe, H2ReachesFciEnergy)
 {
     const auto &prob = h2Problem();
     Ansatz a = buildUccsd(prob.nSpatial, prob.nElectrons);
-    VqeResult res = runVqe(prob.hamiltonian, a);
+    VqeResult res = minimizeMode("ideal", prob.hamiltonian, a);
     double exact = lanczosGroundEnergy(prob.hamiltonian);
     EXPECT_NEAR(res.energy, exact, 1e-6);
     EXPECT_TRUE(res.converged);
@@ -56,7 +60,8 @@ TEST(Vqe, VariationalLowerBound)
     for (double ratio : {0.34, 0.67, 1.0}) {
         CompressedAnsatz c =
             compressAnsatz(a, prob.hamiltonian, ratio);
-        VqeResult res = runVqe(prob.hamiltonian, c.ansatz);
+        VqeResult res =
+            minimizeMode("ideal", prob.hamiltonian, c.ansatz);
         EXPECT_GE(res.energy, exact - 1e-9) << ratio;
     }
 }
@@ -71,8 +76,9 @@ TEST(Vqe, CompressionSpeedsConvergence)
     CompressedAnsatz small =
         compressAnsatz(full, prob.hamiltonian, 0.3);
 
-    VqeResult rFull = runVqe(prob.hamiltonian, full);
-    VqeResult rSmall = runVqe(prob.hamiltonian, small.ansatz);
+    VqeResult rFull = minimizeMode("ideal", prob.hamiltonian, full);
+    VqeResult rSmall =
+        minimizeMode("ideal", prob.hamiltonian, small.ansatz);
     EXPECT_LT(rSmall.evals, rFull.evals);
 }
 
@@ -80,11 +86,11 @@ TEST(Vqe, NelderMeadAgreesWithLbfgsOnH2)
 {
     const auto &prob = h2Problem();
     Ansatz a = buildUccsd(prob.nSpatial, prob.nElectrons);
-    VqeOptions nm;
-    nm.optimizer = VqeOptions::Optimizer::NelderMead;
+    VqeDriverOptions nm;
+    nm.method = VqeDriverOptions::Method::NelderMead;
     nm.maxIter = 2000;
-    VqeResult r1 = runVqe(prob.hamiltonian, a, nm);
-    VqeResult r2 = runVqe(prob.hamiltonian, a);
+    VqeResult r1 = minimizeMode("ideal", prob.hamiltonian, a, nm);
+    VqeResult r2 = minimizeMode("ideal", prob.hamiltonian, a);
     EXPECT_NEAR(r1.energy, r2.energy, 1e-5);
 }
 
@@ -94,7 +100,7 @@ TEST(Vqe, NoisyEnergyAboveNoiseless)
     // a converged state above the noiseless optimum.
     const auto &prob = h2Problem();
     Ansatz a = buildUccsd(prob.nSpatial, prob.nElectrons);
-    VqeResult clean = runVqe(prob.hamiltonian, a);
+    VqeResult clean = minimizeMode("ideal", prob.hamiltonian, a);
 
     NoiseModel paper = NoiseModel::paperDefault();
     double noisy = ansatzEnergyNoisy(prob.hamiltonian, a,
@@ -108,7 +114,7 @@ TEST(Vqe, NoisyEnergyGrowsWithErrorRate)
 {
     const auto &prob = h2Problem();
     Ansatz a = buildUccsd(prob.nSpatial, prob.nElectrons);
-    VqeResult clean = runVqe(prob.hamiltonian, a);
+    VqeResult clean = minimizeMode("ideal", prob.hamiltonian, a);
 
     double prev = clean.energy;
     for (double p : {1e-4, 1e-3, 1e-2}) {
@@ -127,11 +133,11 @@ TEST(Vqe, NoisyVqeRecoversLandscape)
     // minimum (Section VI-D's qualitative claim).
     const auto &prob = h2Problem();
     Ansatz a = buildUccsd(prob.nSpatial, prob.nElectrons);
-    VqeOptions o;
+    VqeDriverOptions o;
+    o.method = VqeDriverOptions::Method::Spsa;
     o.spsaIter = 150;
-    VqeResult res =
-        runVqeNoisy(prob.hamiltonian, a,
-                    NoiseModel::paperDefault(), o);
+    o.noise = NoiseModel::paperDefault();
+    VqeResult res = minimizeMode("noisy", prob.hamiltonian, a, o);
     double exact = lanczosGroundEnergy(prob.hamiltonian);
     EXPECT_NEAR(res.energy, exact, 0.02);
 }
@@ -141,5 +147,5 @@ TEST(Vqe, MismatchedWidthsFatal)
     PauliSum h(2);
     h.add(1.0, PauliString::fromString("ZZ"));
     Ansatz a = buildUccsd(2, 2); // 4 qubits
-    EXPECT_DEATH(runVqe(h, a), "width mismatch");
+    EXPECT_DEATH(minimizeMode("ideal", h, a), "width mismatch");
 }

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared VQE test plumbing: one place for the strategy-injected
+ * driver construction the suites repeat (the non-deprecated
+ * replacement for the deleted runVqe wrappers), so a change to
+ * EstimationConfig or driver construction is edited once.
+ */
+
+#ifndef QCC_TESTS_VQE_TEST_UTIL_HH
+#define QCC_TESTS_VQE_TEST_UTIL_HH
+
+#include "vqe/driver.hh"
+#include "vqe/estimation.hh"
+
+namespace qcc_test {
+
+/** Drive h/ansatz through a named estimation mode. */
+inline qcc::VqeResult
+minimizeMode(const char *mode, const qcc::PauliSum &h,
+             const qcc::Ansatz &a, qcc::VqeDriverOptions opts = {})
+{
+    qcc::VqeDriver driver(
+        h, a, opts,
+        qcc::makeEstimationStrategy(
+            mode, qcc::EstimationConfig{&h, opts.noise,
+                                        opts.sampling, {}}));
+    return driver.run();
+}
+
+/** Analytic ideal-mode minimization (the old runVqe default). */
+inline qcc::VqeResult
+minimizeIdeal(const qcc::PauliSum &h, const qcc::Ansatz &a)
+{
+    return minimizeMode("ideal", h, a);
+}
+
+} // namespace qcc_test
+
+#endif // QCC_TESTS_VQE_TEST_UTIL_HH
