@@ -132,5 +132,9 @@ main()
     std::printf("aggregate: MtR overhead / SAB-Grid overhead   = "
                 "%5.2f%%   (paper: ~2.3%%)\n",
                 100.0 * sumMtr / sumSabGrid);
+    std::printf("CI rows: quick mode stops after H2O; BH3/NH3/CH4 "
+                "need QCC_FULL=1. The molecule x compression\n"
+                "sweep also ships as examples/specs/table2_full.json "
+                "for qcc_sweep.\n");
     return 0;
 }

@@ -83,16 +83,34 @@ class SimBackend
     virtual const Statevector *statevector() const { return nullptr; }
 };
 
+/**
+ * Per-backend simulation options. gateFusion defaults to the global
+ * QCC_FUSION toggle (sim/fusion.hh) at construction time; pin it per
+ * backend for A/B comparisons.
+ */
+struct SimOptions {
+    bool gateFusion;
+    SimOptions();
+};
+
 /** Ideal backend over the dense statevector simulator. */
 class StatevectorBackend : public SimBackend
 {
   public:
-    explicit StatevectorBackend(unsigned n) : sv(n) {}
+    explicit StatevectorBackend(unsigned n, SimOptions o = {})
+        : sv(n), opts(o)
+    {
+    }
 
     const char *name() const override { return "statevector"; }
     unsigned numQubits() const override { return sv.numQubits(); }
     void prepare(uint64_t basis = 0) override { sv.reset(basis); }
-    void applyCircuit(const Circuit &c) override { sv.applyCircuit(c); }
+
+    void
+    applyCircuit(const Circuit &c) override
+    {
+        sv.applyCircuit(c, opts.gateFusion);
+    }
 
     void
     applyPauliRotation(double theta, const PauliString &p) override
@@ -125,8 +143,12 @@ class StatevectorBackend : public SimBackend
     Statevector &state() { return sv; }
     const Statevector &state() const { return sv; }
 
+    void setGateFusion(bool on) { opts.gateFusion = on; }
+    const SimOptions &options() const { return opts; }
+
   private:
     Statevector sv;
+    SimOptions opts;
 };
 
 /**
@@ -138,8 +160,9 @@ class StatevectorBackend : public SimBackend
 class DensityMatrixBackend : public SimBackend
 {
   public:
-    explicit DensityMatrixBackend(unsigned n, NoiseModel noise = {})
-        : rho(n), noiseModel(noise)
+    explicit DensityMatrixBackend(unsigned n, NoiseModel noise = {},
+                                  SimOptions o = {})
+        : rho(n), noiseModel(noise), opts(o)
     {
     }
 
@@ -150,7 +173,7 @@ class DensityMatrixBackend : public SimBackend
     void
     applyCircuit(const Circuit &c) override
     {
-        rho.applyCircuit(c, noiseModel);
+        rho.applyCircuit(c, noiseModel, opts.gateFusion);
     }
 
     void
@@ -186,9 +209,13 @@ class DensityMatrixBackend : public SimBackend
     DensityMatrix &state() { return rho; }
     const DensityMatrix &state() const { return rho; }
 
+    void setGateFusion(bool on) { opts.gateFusion = on; }
+    const SimOptions &options() const { return opts; }
+
   private:
     DensityMatrix rho;
     NoiseModel noiseModel;
+    SimOptions opts;
 };
 
 } // namespace qcc

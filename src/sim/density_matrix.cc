@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "pauli/grouping.hh"
+#include "sim/fusion.hh"
 #include "sim/kernels.hh"
 #include "sim/statevector.hh"
 
@@ -117,10 +118,68 @@ DensityMatrix::applyGateNoisy(const Gate &g, const NoiseModel &noise)
 void
 DensityMatrix::applyCircuit(const Circuit &c, const NoiseModel &noise)
 {
-    if (c.numQubits() != nQubits)
-        panic("DensityMatrix::applyCircuit: width mismatch");
-    for (const auto &g : c.gates())
-        applyGateNoisy(g, noise);
+    applyCircuit(c, noise, fusionEnabled());
+}
+
+void
+DensityMatrix::applyCircuit(const Circuit &c, const NoiseModel &noise,
+                            bool fuse)
+{
+    validateCircuitOrThrow(c, nQubits);
+    // Channels interleave with gates, so only a noiseless replay can
+    // reorder/merge; rho -> U rho U+ doubles every gate onto the bra
+    // bits (conjugated matrices, shifted masks) through one builder.
+    if (!fuse || !noise.isNoiseless() || c.size() < 4) {
+        for (const auto &g : c.gates())
+            applyGateNoisy(g, noise);
+        return;
+    }
+    FusionBuilder fb(2 * nQubits);
+    const complex<double> i(0, 1);
+    for (const Gate &g : c.gates()) {
+        switch (g.kind) {
+          case GateKind::Z:
+            fb.addDiag(g.q0, 1.0, -1.0);
+            fb.addDiag(g.q0 + nQubits, 1.0, -1.0);
+            break;
+          case GateKind::S:
+            fb.addDiag(g.q0, 1.0, i);
+            fb.addDiag(g.q0 + nQubits, 1.0, -i);
+            break;
+          case GateKind::Sdg:
+            fb.addDiag(g.q0, 1.0, -i);
+            fb.addDiag(g.q0 + nQubits, 1.0, i);
+            break;
+          case GateKind::RZ: {
+              const complex<double> d0 = std::exp(-i * (g.angle / 2));
+              const complex<double> d1 = std::exp(i * (g.angle / 2));
+              fb.addDiag(g.q0, d0, d1);
+              fb.addDiag(g.q0 + nQubits, std::conj(d0),
+                         std::conj(d1));
+              break;
+          }
+          case GateKind::CNOT:
+            fb.addCnot(g.q0, g.q1);
+            fb.addCnot(g.q0 + nQubits, g.q1 + nQubits);
+            break;
+          case GateKind::SWAP:
+            fb.addSwap(g.q0, g.q1);
+            fb.addSwap(g.q0 + nQubits, g.q1 + nQubits);
+            break;
+          default: {
+              complex<double> u[4], uc[4];
+              gateMatrix(g.kind, g.angle, u);
+              for (int t = 0; t < 4; ++t)
+                  uc[t] = std::conj(u[t]);
+              fb.add1q(g.q0, u);
+              fb.add1q(g.q0 + nQubits, uc);
+              break;
+          }
+        }
+    }
+    FusedProgram p = fb.build();
+    p.sourceGates = c.size();
+    applyFusedProgram(vec.data(), p);
 }
 
 void

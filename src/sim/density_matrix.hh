@@ -68,8 +68,19 @@ class DensityMatrix
      */
     void applyPauliRotation(double theta, const PauliString &p);
 
-    /** Apply a circuit, inserting noise channels per the model. */
+    /**
+     * Apply a circuit, inserting noise channels per the model.
+     * Operands are validated once up front (throws SimError with a
+     * gate-level diagnostic); on a noiseless model the ket and bra
+     * sides are gate-fused and executed cache-blocked like the
+     * statevector path (noise channels interleave with gates, so a
+     * noisy replay always runs gate by gate).
+     */
     void applyCircuit(const Circuit &c, const NoiseModel &noise = {});
+
+    /** Same, with the fusion decision pinned by the caller. */
+    void applyCircuit(const Circuit &c, const NoiseModel &noise,
+                      bool fuse);
 
     /** Two-qubit depolarizing channel with probability p on (a, b). */
     void depolarize2(unsigned a, unsigned b, double p);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/parallel.hh"
+#include "sim/simd.hh"
 
 namespace qcc {
 namespace kern {
@@ -42,14 +43,9 @@ void
 apply1q(cplx *amp, size_t dim, unsigned q, const cplx u[4])
 {
     const uint64_t bit = 1ull << q;
-    const cplx u0 = u[0], u1 = u[1], u2 = u[2], u3 = u[3];
+    const cplx uc[4] = {u[0], u[1], u[2], u[3]};
     parallelFor(0, dim / 2, [=](size_t lo, size_t hi) {
-        for (size_t k = lo; k < hi; ++k) {
-            const size_t b = expandBit(k, bit);
-            const cplx a0 = amp[b], a1 = amp[b | bit];
-            amp[b] = u0 * a0 + u1 * a1;
-            amp[b | bit] = u2 * a0 + u3 * a1;
-        }
+        ranges::apply1q(amp, lo, hi, bit, uc);
     });
 }
 
@@ -58,8 +54,7 @@ applyDiag1q(cplx *amp, size_t dim, unsigned q, cplx d0, cplx d1)
 {
     const uint64_t bit = 1ull << q;
     parallelFor(0, dim, [=](size_t lo, size_t hi) {
-        for (size_t b = lo; b < hi; ++b)
-            amp[b] *= (b & bit) ? d1 : d0;
+        ranges::diag1q(amp, lo, hi, bit, d0, d1);
     });
 }
 
@@ -68,10 +63,7 @@ applyX(cplx *amp, size_t dim, unsigned q)
 {
     const uint64_t bit = 1ull << q;
     parallelFor(0, dim / 2, [=](size_t lo, size_t hi) {
-        for (size_t k = lo; k < hi; ++k) {
-            const size_t b = expandBit(k, bit);
-            std::swap(amp[b], amp[b | bit]);
-        }
+        ranges::applyX(amp, lo, hi, bit);
     });
 }
 
@@ -80,11 +72,7 @@ applyCx(cplx *amp, size_t dim, unsigned control, unsigned target)
 {
     const uint64_t cb = 1ull << control, tb = 1ull << target;
     parallelFor(0, dim / 2, [=](size_t lo, size_t hi) {
-        for (size_t k = lo; k < hi; ++k) {
-            const size_t b = expandBit(k, tb);
-            if (b & cb)
-                std::swap(amp[b], amp[b | tb]);
-        }
+        ranges::applyCx(amp, lo, hi, cb, tb);
     });
 }
 
@@ -93,14 +81,7 @@ applySwap(cplx *amp, size_t dim, unsigned a, unsigned b)
 {
     const uint64_t ab = 1ull << a, bb = 1ull << b;
     parallelFor(0, dim / 2, [=](size_t lo, size_t hi) {
-        for (size_t k = lo; k < hi; ++k) {
-            // idx has the b-bit clear; its |01> <-> |10> partner is in
-            // the other half of the pair loop, so each pair is visited
-            // exactly once.
-            const size_t idx = expandBit(k, bb);
-            if (idx & ab)
-                std::swap(amp[idx], amp[idx ^ (ab | bb)]);
-        }
+        ranges::applySwap(amp, lo, hi, ab, bb);
     });
 }
 
@@ -116,8 +97,7 @@ applyPauliRotation(cplx *amp, size_t dim, uint64_t x, uint64_t z,
         // phase selected by the parity of |z & b|.
         const cplx fEven = c + is, fOdd = c - is;
         parallelFor(0, dim, [=](size_t lo, size_t hi) {
-            for (size_t b = lo; b < hi; ++b)
-                amp[b] *= (std::popcount(z & b) & 1) ? fOdd : fEven;
+            ranges::pauliRotDiag(amp, lo, hi, z, fEven, fOdd);
         });
         return;
     }
@@ -127,27 +107,16 @@ applyPauliRotation(cplx *amp, size_t dim, uint64_t x, uint64_t z,
     // sigma = (-1)^{|z & x|}, each pair costs one popcount:
     //   amp[b]   = c a   + u sigma s_b a2
     //   amp[b^x] = c a2  + u       s_b a
-    // The update is written in real arithmetic so the compiler emits
-    // plain FMAs instead of Annex-G complex multiplies.
+    // The update is written in real arithmetic so both the scalar and
+    // AVX2 bodies reduce to plain FMAs.
     const cplx u = is * iPow(std::popcount(x & z));
     const double sigma = paritySign(z, x);
     const double ur = u.real(), ui = u.imag();
     const double vr = sigma * ur, vi = sigma * ui;
     const uint64_t pivot = x & (~x + 1); // lowest set bit of x
     parallelFor(0, dim / 2, [=](size_t lo, size_t hi) {
-        for (size_t k = lo; k < hi; ++k) {
-            const size_t b = expandBit(k, pivot);
-            const size_t b2 = b ^ x;
-            const double sb = paritySign(z, b);
-            const double wr = sb * ur, wi = sb * ui;
-            const double xr = sb * vr, xi = sb * vi;
-            const double ar = amp[b].real(), ai = amp[b].imag();
-            const double br = amp[b2].real(), bi = amp[b2].imag();
-            amp[b] = cplx(c * ar + xr * br - xi * bi,
-                          c * ai + xr * bi + xi * br);
-            amp[b2] = cplx(c * br + wr * ar - wi * ai,
-                           c * bi + wr * ai + wi * ar);
-        }
+        ranges::pauliRotPairs(amp, lo, hi, x, z, pivot, c, ur, ui,
+                              vr, vi);
     });
 }
 
@@ -198,10 +167,7 @@ expectation(const cplx *amp, size_t dim, uint64_t x, uint64_t z)
     if (x == 0) {
         return parallelReduce(
             0, dim, 0.0, [=](size_t lo, size_t hi) {
-                double s = 0.0;
-                for (size_t b = lo; b < hi; ++b)
-                    s += paritySign(z, b) * std::norm(amp[b]);
-                return s;
+                return ranges::expectDiag(amp, lo, hi, z);
             });
     }
     // Pair-compacted sweep. The (b, b^x) contributions combine to
@@ -213,32 +179,13 @@ expectation(const cplx *amp, size_t dim, uint64_t x, uint64_t z)
     const int e = std::popcount(x & z) & 3;
     const bool sigmaPos = (std::popcount(z & x) & 1) == 0;
     const uint64_t pivot = x & (~x + 1);
-    double t;
-    if (sigmaPos) {
-        t = parallelReduce(0, dim / 2, 0.0, [=](size_t lo, size_t hi) {
-            double s = 0.0;
-            for (size_t k = lo; k < hi; ++k) {
-                const size_t b = expandBit(k, pivot);
-                const size_t b2 = b ^ x;
-                const double sb = paritySign(z, b);
-                s += sb * (amp[b].real() * amp[b2].real() +
-                           amp[b].imag() * amp[b2].imag());
-            }
-            return s;
+    const double t = parallelReduce(
+        0, dim / 2, 0.0, [=](size_t lo, size_t hi) {
+            return ranges::expectPairs(amp, lo, hi, x, z, pivot,
+                                       sigmaPos);
         });
+    if (sigmaPos)
         return 2.0 * iPow(e).real() * t;
-    }
-    t = parallelReduce(0, dim / 2, 0.0, [=](size_t lo, size_t hi) {
-        double s = 0.0;
-        for (size_t k = lo; k < hi; ++k) {
-            const size_t b = expandBit(k, pivot);
-            const size_t b2 = b ^ x;
-            const double sb = paritySign(z, b);
-            s += sb * (amp[b].real() * amp[b2].imag() -
-                       amp[b].imag() * amp[b2].real());
-        }
-        return s;
-    });
     // contribution = eps * (-2i) * t with eps = i^e.
     return -2.0 * iPow(e + 1).real() * t;
 }
@@ -248,13 +195,8 @@ diagonalGroupExpectation(const cplx *amp, size_t dim, const double *w,
                          const uint64_t *zmask, size_t n_terms)
 {
     return parallelReduce(0, dim, 0.0, [=](size_t lo, size_t hi) {
-        double s = 0.0;
-        for (size_t b = lo; b < hi; ++b) {
-            const double p = std::norm(amp[b]);
-            for (size_t t = 0; t < n_terms; ++t)
-                s += w[t] * paritySign(zmask[t], b) * p;
-        }
-        return s;
+        return ranges::groupExpect(amp, lo, hi, 0, w, zmask,
+                                   n_terms);
     });
 }
 

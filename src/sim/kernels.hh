@@ -13,7 +13,9 @@
  * dedicated single-pass kernels; the Pauli-rotation kernel folds the
  * i^{|x&z|} prefactor and the (-1)^{|z&x|} partner-sign relation into
  * constants so each amplitude pair costs one popcount. All sweeps are
- * block-parallel via parallelFor/parallelReduce.
+ * block-parallel via parallelFor/parallelReduce, and each chunk runs
+ * through the runtime-dispatched scalar/AVX2 range primitives of
+ * sim/simd.hh (QCC_SIMD selects the path; see that header).
  *
  * The *Generic functions preserve the original full-scan reference
  * implementations; tests check kernel/generic equivalence and

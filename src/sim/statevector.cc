@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "pauli/grouping.hh"
+#include "sim/fusion.hh"
 #include "sim/kernels.hh"
 
 namespace qcc {
@@ -92,10 +93,21 @@ Statevector::applyGate(const Gate &g)
 void
 Statevector::applyCircuit(const Circuit &c)
 {
-    if (c.numQubits() != nQubits)
-        panic("Statevector::applyCircuit: width mismatch");
-    for (const auto &g : c.gates())
-        applyGate(g);
+    applyCircuit(c, fusionEnabled());
+}
+
+void
+Statevector::applyCircuit(const Circuit &c, bool fuse)
+{
+    validateCircuitOrThrow(c, nQubits);
+    // Fusion pays off once there is something to merge; trivial
+    // circuits replay gate-by-gate.
+    if (!fuse || c.size() < 4) {
+        for (const auto &g : c.gates())
+            applyGate(g);
+        return;
+    }
+    applyFusedProgram(amp.data(), fuseCircuit(c));
 }
 
 void

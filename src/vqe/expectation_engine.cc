@@ -1,9 +1,11 @@
 #include "vqe/expectation_engine.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/logging.hh"
+#include "sim/fusion.hh"
 #include "sim/kernels.hh"
 
 namespace qcc {
@@ -80,6 +82,23 @@ ExpectationEngine::energy(const Statevector &psi) const
 
     double e = 0.0;
     for (const auto &plan : plans) {
+        if (!plan.rotations.empty() && fusionEnabled()) {
+            // Cache-blocked family sweep: rotate and accumulate one
+            // hot block at a time instead of copying the whole state
+            // (sim/fusion.hh).
+            std::vector<std::pair<unsigned, std::array<cplx, 4>>>
+                rots;
+            rots.reserve(plan.rotations.size());
+            for (const auto &[q, op] : plan.rotations) {
+                std::array<cplx, 4> u;
+                basisChangeMatrix(op, u.data());
+                rots.emplace_back(q, u);
+            }
+            e += rotatedGroupExpectation(
+                amp.data(), dim, rots, plan.weights.data(),
+                plan.zMasks.data(), plan.zMasks.size());
+            continue;
+        }
         const cplx *state = amp.data();
         if (!plan.rotations.empty()) {
             // Rotate a scratch copy into the family's shared

@@ -6,6 +6,7 @@
  * agreement and the expectation width-check regression.
  */
 
+#include <array>
 #include <cmath>
 #include <gtest/gtest.h>
 
@@ -13,7 +14,10 @@
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "pauli/grouping.hh"
+#include "sim/density_matrix.hh"
+#include "sim/fusion.hh"
 #include "sim/kernels.hh"
+#include "sim/simd.hh"
 #include "sim/statevector.hh"
 #include "vqe/expectation_engine.hh"
 
@@ -64,6 +68,43 @@ expectClose(const std::vector<cplx> &a, const std::vector<cplx> &b,
     for (size_t i = 0; i < a.size(); ++i)
         ASSERT_NEAR(std::abs(a[i] - b[i]), 0.0, tol)
             << what << " at index " << i;
+}
+
+/** Pin the SIMD dispatch for one scope, restoring it on exit. */
+struct SimdGuard {
+    bool was;
+    explicit SimdGuard(bool on) : was(kern::simdActive())
+    {
+        kern::setSimdEnabled(on);
+    }
+    ~SimdGuard() { kern::setSimdEnabled(was); }
+};
+
+/** Random circuit over all gate kinds (same mix as the dense test). */
+Circuit
+randomCircuit(unsigned n, int n_gates, Rng &rng)
+{
+    Circuit c(n);
+    const GateKind oneQ[] = {GateKind::X,  GateKind::Y,  GateKind::Z,
+                             GateKind::H,  GateKind::S,  GateKind::Sdg,
+                             GateKind::RX, GateKind::RY, GateKind::RZ};
+    for (int g = 0; g < n_gates; ++g) {
+        if (n >= 2 && rng.uniform() < 0.3) {
+            unsigned a = unsigned(rng.index(n));
+            unsigned b = unsigned(rng.index(n - 1));
+            if (b >= a)
+                ++b;
+            if (rng.coin())
+                c.cnot(a, b);
+            else
+                c.swap(a, b);
+        } else {
+            GateKind k = oneQ[rng.index(std::size(oneQ))];
+            c.push({k, unsigned(rng.index(n)), 0,
+                    rng.uniform(-3.0, 3.0)});
+        }
+    }
+    return c;
 }
 
 } // namespace
@@ -248,4 +289,372 @@ TEST(Kernels, ExpectationWidthMismatchPanics)
     Statevector sv(3);
     PauliString wide = PauliString::fromString("ZZZZZ");
     EXPECT_DEATH(sv.expectation(wide), "width mismatch");
+}
+
+// ---------------------------------------------------------------------
+// SIMD dispatch: vector path vs forced-scalar path vs generic oracle.
+// On machines without AVX2 both dispatches run the scalar bodies and
+// the checks degenerate to (still valid) scalar-vs-generic tests.
+// ---------------------------------------------------------------------
+
+TEST(Simd, Apply1qMatchesScalarAndGeneric)
+{
+    Rng rng(31);
+    for (unsigned n : {1u, 2u, 3u, 5u, 11u}) {
+        for (int rep = 0; rep < 6; ++rep) {
+            cplx u[4];
+            for (auto &v : u)
+                v = cplx(rng.gaussian(), rng.gaussian());
+            for (unsigned q = 0; q < n; ++q) {
+                auto ref = randomAmplitudes(n, 7000 + 64 * n + rep);
+                auto vec = ref;
+                auto sca = ref;
+                kern::apply1qGeneric(ref.data(), ref.size(), q, u);
+                {
+                    SimdGuard g(true);
+                    kern::apply1q(vec.data(), vec.size(), q, u);
+                }
+                {
+                    SimdGuard g(false);
+                    kern::apply1q(sca.data(), sca.size(), q, u);
+                }
+                const std::string what = "apply1q n=" +
+                    std::to_string(n) + " q=" + std::to_string(q);
+                expectClose(vec, ref, "simd " + what);
+                expectClose(sca, ref, "scalar " + what);
+            }
+        }
+    }
+}
+
+TEST(Simd, PauliRotationMatchesScalarAndGeneric)
+{
+    Rng rng(37);
+    // Odd widths and n=1 stress the vector head/tail handling; the
+    // random strings cover diagonal (x=0), pivot=1, and pivot>=2.
+    for (unsigned n : {1u, 2u, 3u, 7u, 13u}) {
+        for (int rep = 0; rep < 16; ++rep) {
+            PauliString p = randomString(n, rng);
+            const double theta = rng.uniform(-3.0, 3.0);
+            auto ref = randomAmplitudes(n, 8000 + 64 * n + rep);
+            auto vec = ref;
+            auto sca = ref;
+            kern::applyPauliRotationGeneric(ref.data(), ref.size(),
+                                            p.xMask(), p.zMask(),
+                                            theta);
+            {
+                SimdGuard g(true);
+                kern::applyPauliRotation(vec.data(), vec.size(),
+                                         p.xMask(), p.zMask(), theta);
+            }
+            {
+                SimdGuard g(false);
+                kern::applyPauliRotation(sca.data(), sca.size(),
+                                         p.xMask(), p.zMask(), theta);
+            }
+            expectClose(vec, ref, "simd rotation " + p.str());
+            expectClose(sca, ref, "scalar rotation " + p.str());
+        }
+    }
+}
+
+TEST(Simd, ExpectationMatchesScalarAndGeneric)
+{
+    Rng rng(41);
+    for (unsigned n : {1u, 3u, 5u, 13u}) {
+        auto amp = randomAmplitudes(n, 90 + n);
+        for (int rep = 0; rep < 16; ++rep) {
+            PauliString p = randomString(n, rng);
+            const double ref = kern::expectationGeneric(
+                amp.data(), amp.size(), p.xMask(), p.zMask());
+            double vec, sca;
+            {
+                SimdGuard g(true);
+                vec = kern::expectation(amp.data(), amp.size(),
+                                        p.xMask(), p.zMask());
+            }
+            {
+                SimdGuard g(false);
+                sca = kern::expectation(amp.data(), amp.size(),
+                                        p.xMask(), p.zMask());
+            }
+            EXPECT_NEAR(vec, ref, 1e-12) << "simd " << p.str();
+            EXPECT_NEAR(sca, ref, 1e-12) << "scalar " << p.str();
+        }
+    }
+}
+
+TEST(Simd, DiagonalGroupExpectationMatchesScalar)
+{
+    Rng rng(43);
+    for (unsigned n : {1u, 3u, 6u, 13u}) {
+        auto amp = randomAmplitudes(n, 300 + n);
+        const uint64_t mask = (1ull << n) - 1;
+        // Term counts around the AVX2 4-probability quad boundary.
+        for (size_t terms : {1u, 3u, 24u}) {
+            std::vector<double> w;
+            std::vector<uint64_t> z;
+            for (size_t t = 0; t < terms; ++t) {
+                w.push_back(rng.gaussian());
+                z.push_back(rng.index(1ull << n) & mask);
+            }
+            // Scalar oracle straight from the definition.
+            double ref = 0.0;
+            for (size_t b = 0; b < amp.size(); ++b) {
+                const double n2 = std::norm(amp[b]);
+                for (size_t t = 0; t < terms; ++t)
+                    ref += (std::popcount(z[t] & b) & 1 ? -w[t]
+                                                        : w[t]) *
+                           n2;
+            }
+            double vec, sca;
+            {
+                SimdGuard g(true);
+                vec = kern::diagonalGroupExpectation(
+                    amp.data(), amp.size(), w.data(), z.data(),
+                    terms);
+            }
+            {
+                SimdGuard g(false);
+                sca = kern::diagonalGroupExpectation(
+                    amp.data(), amp.size(), w.data(), z.data(),
+                    terms);
+            }
+            EXPECT_NEAR(vec, ref, 1e-12)
+                << "simd n=" << n << " terms=" << terms;
+            EXPECT_NEAR(sca, ref, 1e-12)
+                << "scalar n=" << n << " terms=" << terms;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gate fusion + cache-blocked execution vs plain per-gate replay.
+// ---------------------------------------------------------------------
+
+TEST(Fusion, FusedCircuitMatchesPerGate)
+{
+    Rng rng(47);
+    // n=14 exceeds the execution block width, so high-bit 1q gates,
+    // block-selecting CNOT controls, and the segment machinery all
+    // run; n=1 and odd widths cover the degenerate ends.
+    for (unsigned n : {1u, 2u, 5u, 14u}) {
+        const int reps = n >= 14 ? 2 : 5;
+        for (int rep = 0; rep < reps; ++rep) {
+            Circuit c = randomCircuit(n, n >= 14 ? 120 : 60, rng);
+            Statevector ref = randomState(n, 500 + 16 * n + rep);
+            Statevector fusedV(n), fusedS(n);
+            fusedV.amplitudes() = ref.amplitudes();
+            fusedS.amplitudes() = ref.amplitudes();
+            {
+                SimdGuard g(false);
+                ref.applyCircuit(c, false);
+                fusedS.applyCircuit(c, true);
+            }
+            {
+                SimdGuard g(true);
+                fusedV.applyCircuit(c, true);
+            }
+            expectClose(fusedS.amplitudes(), ref.amplitudes(),
+                        "fused scalar n=" + std::to_string(n));
+            expectClose(fusedV.amplitudes(), ref.amplitudes(),
+                        "fused simd n=" + std::to_string(n));
+        }
+    }
+}
+
+TEST(Fusion, DiagonalRunsCoalesce)
+{
+    // A long run of commuting diagonal gates (with CNOTs whose
+    // controls sit on the diagonal qubits interleaved) must fuse into
+    // far fewer ops and still match per-gate replay.
+    Circuit c(5);
+    for (int pass = 0; pass < 3; ++pass) {
+        for (unsigned q = 0; q < 5; ++q) {
+            c.z(q);
+            c.s(q);
+            c.rz(q, 0.2 + 0.1 * q);
+        }
+        c.cnot(0, 4); // diag on control 0 commutes through
+    }
+    FusedProgram p = fuseCircuit(c);
+    EXPECT_LT(p.ops.size(), c.size() / 3);
+
+    Statevector a = randomState(5, 77), b(5);
+    b.amplitudes() = a.amplitudes();
+    a.applyCircuit(c, false);
+    b.applyCircuit(c, true);
+    expectClose(b.amplitudes(), a.amplitudes(), "diag coalesce");
+}
+
+TEST(Fusion, OneQubitRunsMerge)
+{
+    // RZ-RY-RZ Euler blocks per qubit collapse to one matrix each.
+    Circuit c(4);
+    for (unsigned q = 0; q < 4; ++q) {
+        c.rz(q, 0.3);
+        c.ry(q, 0.5);
+        c.rz(q, -0.2);
+        c.h(q);
+    }
+    FusedProgram p = fuseCircuit(c);
+    EXPECT_EQ(p.ops.size(), 4u);
+
+    Statevector a = randomState(4, 88), b(4);
+    b.amplitudes() = a.amplitudes();
+    a.applyCircuit(c, false);
+    b.applyCircuit(c, true);
+    expectClose(b.amplitudes(), a.amplitudes(), "1q merge");
+}
+
+TEST(Fusion, DensityMatrixFusedMatchesPerGate)
+{
+    Rng rng(53);
+    const NoiseModel noiseless;
+    for (int rep = 0; rep < 3; ++rep) {
+        Circuit c = randomCircuit(4, 40, rng);
+        DensityMatrix a(4), b(4);
+        // Evolve both away from the basis state first so the check
+        // sees a dense matrix.
+        Circuit warm = randomCircuit(4, 10, rng);
+        a.applyCircuit(warm, noiseless, false);
+        b.vectorized() = a.vectorized();
+        a.applyCircuit(c, noiseless, false);
+        b.applyCircuit(c, noiseless, true);
+        expectClose(b.vectorized(), a.vectorized(), "dm fused");
+        EXPECT_NEAR(b.trace(), 1.0, 1e-10);
+    }
+}
+
+TEST(Fusion, RotatedGroupExpectationMatchesCopyPath)
+{
+    Rng rng(59);
+    // n=14 with low rotations exercises the zero-copy blocked sweep;
+    // adding a rotation above the block width forces the scratch-copy
+    // path. n=5 runs the single-block case.
+    for (unsigned n : {5u, 14u}) {
+        auto amp = randomAmplitudes(n, 600 + n);
+        const uint64_t mask = (1ull << n) - 1;
+        for (bool highRotation : {false, true}) {
+            if (highRotation && n < 14)
+                continue;
+            std::vector<std::pair<unsigned, std::array<cplx, 4>>>
+                rots;
+            std::vector<unsigned> qs = {0, 2, unsigned(n - 1)};
+            if (!highRotation && n >= 14)
+                qs = {0, 2, 7};
+            for (unsigned q : qs) {
+                std::array<cplx, 4> u;
+                basisChangeMatrix(rng.coin() ? PauliOp::X
+                                             : PauliOp::Y,
+                                  u.data());
+                rots.emplace_back(q, u);
+            }
+            std::vector<double> w;
+            std::vector<uint64_t> z;
+            for (int t = 0; t < 12; ++t) {
+                w.push_back(rng.gaussian());
+                z.push_back(rng.index(1ull << n) & mask);
+            }
+            // Oracle: rotate a full copy, then the plain group sweep.
+            auto copy = amp;
+            for (const auto &[q, u] : rots)
+                kern::apply1q(copy.data(), copy.size(), q, u.data());
+            const double ref = kern::diagonalGroupExpectation(
+                copy.data(), copy.size(), w.data(), z.data(),
+                z.size());
+            const double got = rotatedGroupExpectation(
+                amp.data(), amp.size(), rots, w.data(), z.data(),
+                z.size());
+            EXPECT_NEAR(got, ref, 1e-11)
+                << "n=" << n << " high=" << highRotation;
+        }
+    }
+}
+
+TEST(Fusion, EngineEnergyAgreesWithFusionOff)
+{
+    // The ExpectationEngine's fused rotated-family sweep against the
+    // scratch-copy path on the same random Hamiltonian and state.
+    Rng rng(61);
+    PauliSum h(6);
+    for (int t = 0; t < 40; ++t)
+        h.add(rng.gaussian(), randomString(6, rng));
+    h.simplify();
+    Statevector psi = randomState(6, 99);
+    ExpectationEngine engine(h);
+    const bool was = fusionEnabled();
+    setFusionEnabled(true);
+    const double fused = engine.energy(psi);
+    setFusionEnabled(false);
+    const double plain = engine.energy(psi);
+    setFusionEnabled(was);
+    EXPECT_NEAR(fused, plain, 1e-11);
+    EXPECT_NEAR(fused, psi.expectation(h), 1e-10);
+}
+
+// ---------------------------------------------------------------------
+// Operand validation at the applyCircuit boundary.
+// ---------------------------------------------------------------------
+
+TEST(Validation, WidthMismatchThrowsSimError)
+{
+    Statevector sv(3);
+    Circuit c(4);
+    c.h(0);
+    try {
+        sv.applyCircuit(c);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("width"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_EQ(e.issue().gateIndex, -1);
+    }
+}
+
+TEST(Validation, OutOfRangeOperandThrowsWithGateIndex)
+{
+    Statevector sv(3);
+    Circuit c(3);
+    c.h(0);
+    c.cnot(0, 1);
+    c.gates()[1].q1 = 9; // corrupt the CNOT target past the register
+    try {
+        sv.applyCircuit(c);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.issue().gateIndex, 1);
+        EXPECT_NE(std::string(e.what()).find("gate 1"),
+                  std::string::npos)
+            << e.what();
+    }
+    // The state must be untouched: validation precedes execution.
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 1.0, 1e-15);
+}
+
+TEST(Validation, IdenticalTwoQubitOperandsThrow)
+{
+    Statevector sv(3);
+    Circuit c(3);
+    c.cnot(0, 1);
+    c.gates()[0].q1 = 0;
+    EXPECT_THROW(sv.applyCircuit(c), SimError);
+}
+
+TEST(Validation, DensityMatrixValidatesToo)
+{
+    DensityMatrix rho(3);
+    Circuit wide(5);
+    wide.h(0);
+    EXPECT_THROW(rho.applyCircuit(wide), SimError);
+
+    Circuit c(3);
+    c.swap(0, 2);
+    c.gates()[0].q0 = 7;
+    EXPECT_THROW(rho.applyCircuit(c), SimError);
+
+    std::optional<SimIssue> issue = validateCircuit(c, 3);
+    ASSERT_TRUE(issue.has_value());
+    EXPECT_EQ(issue->gateIndex, 0);
 }

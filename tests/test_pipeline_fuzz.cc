@@ -9,6 +9,7 @@
  * equivalence can be checked over every basis state.
  */
 
+#include <cmath>
 #include <gtest/gtest.h>
 
 #include "ansatz/uccsd.hh"
@@ -18,6 +19,9 @@
 #include "compiler/chain_synthesis.hh"
 #include "compiler/pipeline.hh"
 #include "compiler/verify.hh"
+#include "sim/fusion.hh"
+#include "sim/simd.hh"
+#include "sim/statevector.hh"
 
 using namespace qcc;
 
@@ -111,6 +115,68 @@ TEST(PipelineFuzz, RandomProgramsCompileAndStayEquivalent)
         checkFlow(a, params, mtr, "merge-to-root", t);
         checkFlow(a, params, sabre, "sabre", t);
     }
+}
+
+TEST(PipelineFuzz, CompiledCircuitsExecuteIdenticallyFusedAndSimd)
+{
+    // The simulator's execution tiers (per-gate scalar, per-gate
+    // SIMD, fused scalar, fused SIMD) must agree on real compiler
+    // output — routed circuits full of CNOT/SWAP runs and basis
+    // sandwiches, not just synthetic gate streams.
+    setVerbose(false);
+    XTree tree = makeXTree(7);
+    PipelineOptions opts;
+    opts.verifyTrials = 0;
+    opts.useCache = false;
+    CompilerPipeline mtr(tree, opts);
+
+    const bool simdWas = kern::simdActive();
+    for (uint64_t t = 0; t < 6; ++t) {
+        Rng rng(deriveStream(0x51D0 + t, 2));
+        Ansatz a = randomProgram(rng);
+        auto params = randomParams(a, rng);
+        CompileResult res = mtr.compile(a, params);
+        const unsigned n = res.circuit.numQubits();
+
+        // Random dense initial state shared by all four tiers.
+        Statevector ref(n);
+        {
+            double norm2 = 0.0;
+            for (auto &v : ref.amplitudes()) {
+                v = cplx(rng.gaussian(), rng.gaussian());
+                norm2 += std::norm(v);
+            }
+            for (auto &v : ref.amplitudes())
+                v /= std::sqrt(norm2);
+        }
+        Statevector simd(n), fusedS(n), fusedV(n);
+        simd.amplitudes() = ref.amplitudes();
+        fusedS.amplitudes() = ref.amplitudes();
+        fusedV.amplitudes() = ref.amplitudes();
+
+        kern::setSimdEnabled(false);
+        ref.applyCircuit(res.circuit, false);
+        fusedS.applyCircuit(res.circuit, true);
+        kern::setSimdEnabled(true);
+        simd.applyCircuit(res.circuit, false);
+        fusedV.applyCircuit(res.circuit, true);
+
+        for (size_t i = 0; i < ref.dim(); ++i) {
+            ASSERT_NEAR(std::abs(simd.amplitudes()[i] -
+                                 ref.amplitudes()[i]),
+                        0.0, 1e-12)
+                << "simd trial " << t << " index " << i;
+            ASSERT_NEAR(std::abs(fusedS.amplitudes()[i] -
+                                 ref.amplitudes()[i]),
+                        0.0, 1e-12)
+                << "fused-scalar trial " << t << " index " << i;
+            ASSERT_NEAR(std::abs(fusedV.amplitudes()[i] -
+                                 ref.amplitudes()[i]),
+                        0.0, 1e-12)
+                << "fused-simd trial " << t << " index " << i;
+        }
+    }
+    kern::setSimdEnabled(simdWas);
 }
 
 TEST(PipelineFuzz, CachedRecompileOfRandomProgramsIsExact)

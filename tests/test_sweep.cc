@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/experiment.hh"
 #include "common/logging.hh"
 #include "compiler/cache.hh"
 #include "sweep/sweep_engine.hh"
@@ -323,4 +324,40 @@ TEST(SweepEngine, AggregateCarriesCurvesAndSummaries)
     EXPECT_LT(jobs[1].result.energy(), jobs[2].result.energy());
     EXPECT_NE(doc.find("\"molecule\": \"H2\", \"job\": 1"),
               std::string::npos);
+}
+
+TEST(SweepSpecFiles, ShippedTableSpecsParseAndExpand)
+{
+    // The full Table I/II studies ship as spec files (copied next to
+    // the binaries at configure time). They must stay parseable and
+    // expand to the paper's row structure; every expanded job must
+    // construct an Experiment (validating molecule, registry keys,
+    // and device names) without running anything.
+    struct Expected
+    {
+        const char *path;
+        size_t jobs;
+    };
+    const Expected files[] = {
+        {"specs/table1_full.json", 9 * 3},
+        {"specs/table2_full.json", 9 * 5},
+    };
+    for (const auto &f : files) {
+        SweepSpec spec;
+        try {
+            spec = SweepSpec::fromFile(f.path);
+        } catch (const SweepError &) {
+            GTEST_SKIP() << f.path
+                         << " not present next to the test binary "
+                            "(run from the build tree)";
+        }
+        EXPECT_EQ(spec.jobCount(), f.jobs) << f.path;
+        std::vector<ExperimentSpec> jobs = spec.expand();
+        ASSERT_EQ(jobs.size(), f.jobs) << f.path;
+        for (const ExperimentSpec &job : jobs)
+            EXPECT_NO_THROW(Experiment e(job))
+                << f.path << " molecule=" << job.molecule;
+        // Both tables end at CH4, the largest benchmark molecule.
+        EXPECT_EQ(jobs.back().molecule, "CH4") << f.path;
+    }
 }
