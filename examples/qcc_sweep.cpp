@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "store/store.hh"
 #include "sweep/sweep_engine.hh"
 
 using namespace qcc;
@@ -36,6 +37,9 @@ usage(const char *argv0)
         "QCC_THREADS)\n"
         "  --cold-cache      clear the compile cache before every "
         "job\n"
+        "  --store-dir DIR   persistent store root (overrides "
+        "QCC_STORE_DIR)\n"
+        "  --no-store        disable the persistent store\n"
         "  --list            print the expanded job list and exit\n"
         "  --quiet           suppress per-job progress lines\n"
         "\nThe aggregate is written as SWEEP_<name>.json under the\n"
@@ -63,6 +67,10 @@ main(int argc, char **argv)
             concurrency = unsigned(std::atoi(argv[++i]));
         } else if (arg == "--cold-cache") {
             coldCache = true;
+        } else if (arg == "--store-dir" && i + 1 < argc) {
+            setStoreDir(argv[++i]);
+        } else if (arg == "--no-store") {
+            setStoreEnabled(false);
         } else if (arg == "--list") {
             listOnly = true;
         } else if (arg == "--quiet") {
@@ -172,6 +180,26 @@ main(int argc, char **argv)
         path = store.writeTo("SWEEP_" + store.name() + ".json");
     if (!path.empty())
         std::printf("\nwrote %s\n", path.c_str());
+
+    if (storeEnabled()) {
+        const StoreStats ss = storeStats();
+        std::printf("\npersistent store (%s): circuits %zu hit / "
+                    "%zu written / %zu bad; problems %zu memo + "
+                    "%zu disk hit / %zu built / %zu written\n",
+                    storeDir().c_str(), ss.circuitDiskHits,
+                    ss.circuitDiskWrites, ss.circuitBadEntries,
+                    ss.problemMemHits, ss.problemDiskHits,
+                    ss.problemBuilds, ss.problemDiskWrites);
+        std::string statsPath =
+            qccJsonPath("STORE_" + store.name() + ".json");
+        if (statsPath.empty())
+            statsPath = "STORE_" + store.name() + ".json";
+        if (FILE *f = std::fopen(statsPath.c_str(), "w")) {
+            std::fputs(storeStatsJson().c_str(), f);
+            std::fclose(f);
+            std::printf("wrote %s\n", statsPath.c_str());
+        }
+    }
 
     return store.countWithStatus(JobStatus::Failed) == 0 ? 0 : 1;
 }

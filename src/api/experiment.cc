@@ -8,6 +8,7 @@
 #include "ansatz/compression.hh"
 #include "common/logging.hh"
 #include "sim/lanczos.hh"
+#include "store/problem_store.hh"
 #include "vqe/estimation.hh"
 
 namespace qcc {
@@ -156,7 +157,7 @@ Experiment::run() const
         resolved.bond > 0.0 ? resolved.bond : entry.equilibriumBond;
     out.spec.bond = bond; // resolved for exact replay
     MolecularProblem prob =
-        buildMolecularProblem(entry, bond, resolved.basisNg);
+        globalProblemStore().get(entry, bond, resolved.basisNg);
     Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
     out.fullParams = full.nParams;
     Ansatz ansatz;

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Bounds-checked binary serialization helpers for the persistent
+ * store tier (src/store). A store entry is a flat byte payload built
+ * with BinaryWriter and decoded with BinaryReader; every read is
+ * range-checked and throws BinioError instead of walking off the
+ * buffer, which is what lets the stores treat a truncated or
+ * corrupted file as a cache miss rather than a crash.
+ *
+ * Values are encoded in the host's native representation (the store
+ * is a per-machine cache, not an interchange format); fnv1a() gives
+ * the payload checksum the stores append so bit rot is detected
+ * before any field is trusted.
+ */
+
+#ifndef QCC_COMMON_BINIO_HH
+#define QCC_COMMON_BINIO_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qcc {
+
+/** Malformed-payload failure with byte-offset provenance. */
+class BinioError : public std::runtime_error
+{
+  public:
+    BinioError(const std::string &detail, size_t offset)
+        : std::runtime_error("binary payload error at offset " +
+                             std::to_string(offset) + ": " + detail),
+          byteOffset(offset)
+    {
+    }
+
+    size_t offset() const { return byteOffset; }
+
+  private:
+    size_t byteOffset;
+};
+
+/** Append-only byte-buffer builder. */
+class BinaryWriter
+{
+  public:
+    void u8(uint8_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    /** Raw bit pattern of a double (exact round-trip). */
+    void f64(double v);
+    /** u64 length prefix + raw bytes. */
+    void str(const std::string &s);
+    void doubles(const std::vector<double> &v);
+    void u64s(const std::vector<uint64_t> &v);
+
+    const std::string &bytes() const { return buf; }
+    std::string take() { return std::move(buf); }
+
+  private:
+    std::string buf;
+};
+
+/**
+ * Sequential decoder over a byte buffer (non-owning). Every accessor
+ * throws BinioError when fewer bytes remain than the value needs;
+ * length-prefixed reads additionally reject prefixes larger than the
+ * remaining buffer, so a corrupted length can never trigger a
+ * multi-gigabyte allocation.
+ */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(std::string_view data)
+        : data(data), pos(0)
+    {
+    }
+
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+    std::string str();
+    std::vector<double> doubles();
+    std::vector<uint64_t> u64s();
+
+    size_t offset() const { return pos; }
+    size_t remaining() const { return data.size() - pos; }
+    bool atEnd() const { return pos == data.size(); }
+
+  private:
+    void need(size_t n) const;
+    /** Validated element count for a length-prefixed array. */
+    size_t count(size_t elem_size);
+
+    std::string_view data;
+    size_t pos;
+};
+
+/** FNV-1a over a byte range (the store payload checksum). */
+uint64_t fnv1a(const void *data, size_t n,
+               uint64_t seed = 0xcbf29ce484222325ull);
+
+/** Read a whole file into `out`; false on any IO failure. */
+bool readFileBytes(const std::string &path, std::string &out);
+
+/**
+ * Write `data` to `path` atomically: the bytes land in a unique
+ * sibling temp file first and are renamed into place, so concurrent
+ * readers (and concurrent writers racing on the same path) only ever
+ * observe a complete file. Returns false on any IO failure, cleaning
+ * up the temp file.
+ */
+bool atomicWriteFile(const std::string &path, std::string_view data);
+
+} // namespace qcc
+
+#endif // QCC_COMMON_BINIO_HH

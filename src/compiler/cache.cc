@@ -20,12 +20,39 @@ CacheKey::hash() const
     return h;
 }
 
+void
+CircuitCache::setDiskTier(std::shared_ptr<DiskTier> tier)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    disk = std::move(tier);
+}
+
+bool
+CircuitCache::insertMemo(const CacheKey &key,
+                         std::shared_ptr<const CachedCompile> sp)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (counters.entries >= cap) {
+        table.clear();
+        counters.evictions += counters.entries;
+        counters.entries = 0;
+    }
+    auto &bucket = table[key.hash()];
+    for (const auto &[k, v] : bucket)
+        if (k == key)
+            return false;
+    bucket.emplace_back(key, std::move(sp));
+    ++counters.entries;
+    return true;
+}
+
 bool
 CircuitCache::lookup(const CacheKey &key,
                      const std::vector<double> &angles,
                      CachedCompile &out)
 {
     std::shared_ptr<const CachedCompile> found;
+    std::shared_ptr<DiskTier> tier;
     {
         std::lock_guard<std::mutex> lock(mtx);
         auto it = table.find(key.hash());
@@ -35,7 +62,30 @@ CircuitCache::lookup(const CacheKey &key,
                     found = v;
                     break;
                 }
-        if (!found || found->rzIndex.size() != angles.size()) {
+        if (found && found->rzIndex.size() != angles.size())
+            found.reset();
+        tier = disk;
+    }
+
+    if (!found && tier) {
+        // Second-tier probe outside the lock: file IO must never
+        // serialize the other workers' memory probes.
+        CachedCompile entry;
+        if (tier->load(key, entry) &&
+            entry.rzIndex.size() == angles.size()) {
+            found =
+                std::make_shared<const CachedCompile>(std::move(entry));
+            // Promote into the memory table (no write-back to disk:
+            // the entry just came from there).
+            insertMemo(key, found);
+            std::lock_guard<std::mutex> lock(mtx);
+            ++counters.diskHits;
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (!found) {
             ++counters.misses;
             return false;
         }
@@ -57,18 +107,18 @@ void
 CircuitCache::insert(const CacheKey &key, CachedCompile entry)
 {
     auto sp = std::make_shared<const CachedCompile>(std::move(entry));
-    std::lock_guard<std::mutex> lock(mtx);
-    if (counters.entries >= cap) {
-        table.clear();
-        counters.evictions += counters.entries;
-        counters.entries = 0;
+    if (!insertMemo(key, sp))
+        return; // duplicate: already memoized (and persisted)
+    std::shared_ptr<DiskTier> tier;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        tier = disk;
     }
-    auto &bucket = table[key.hash()];
-    for (const auto &[k, v] : bucket)
-        if (k == key)
-            return;
-    bucket.emplace_back(key, std::move(sp));
-    ++counters.entries;
+    if (tier && tier->save(key, *sp)) {
+        // Write-through ran outside the lock; best effort.
+        std::lock_guard<std::mutex> lock(mtx);
+        ++counters.diskStores;
+    }
 }
 
 void
@@ -92,6 +142,15 @@ globalCircuitCache()
 {
     static CircuitCache cache(
         size_t(envUint("QCC_COMPILE_CACHE_CAP", 8192, 1)));
+    // The persistent tier is attached exactly once; it consults the
+    // store configuration (QCC_STORE_DIR / setStoreDir) on every
+    // call, so attaching it while the store is disabled costs one
+    // predicate per miss.
+    static const bool attached = [] {
+        cache.setDiskTier(makeGlobalCircuitDiskTier());
+        return true;
+    }();
+    (void)attached;
     return cache;
 }
 

@@ -33,9 +33,34 @@
 namespace qcc {
 
 /**
- * Fingerprint of a compile request: a word stream hashed for the
- * bucket and compared in full on probe, so a 64-bit collision can
- * never alias two different programs.
+ * Fingerprint of a compile request.
+ *
+ * ## Hashing contract
+ *
+ * A key is an ordered stream of 64-bit words that must encode every
+ * angle-independent input the compile depends on — and nothing else.
+ * For the pipeline flows the stream is: a format tag, the flow
+ * enum, the HF-prep flag, the device shape (tree parent vector or
+ * coupling-graph edge list), then the program (qubit count, HF mask,
+ * and the (x, z) masks of every rotation string, in program order).
+ * Rotation angles and term coefficients are deliberately absent:
+ * they are rebind data, applied to the memoized structure on every
+ * hit.
+ *
+ * hash() condenses the stream into one 64-bit bucket index; it is
+ * fast, not collision-free, and nothing may rely on its injectivity.
+ * Correctness comes from the probe comparing the full word stream
+ * (operator==) before a hit is declared, so a hash collision can
+ * never alias two different programs — in memory or on disk, where
+ * DiskCircuitStore (src/store) persists the full key words inside
+ * each entry and re-compares them on load.
+ *
+ * Stability: the word stream doubles as the persistent identity of a
+ * compiled circuit in the disk store. Any change to how keys are
+ * derived (word order, new inputs, encoding of the device) must bump
+ * the circuit-store format version (store/circuit_store.cc) so stale
+ * entries demote to misses instead of rebinding onto the wrong
+ * structure.
  */
 struct CacheKey
 {
@@ -65,23 +90,59 @@ struct CachedCompile
 /** Hit/miss counters (monotonic over the cache lifetime). */
 struct CacheStats
 {
-    size_t hits = 0;
+    size_t hits = 0;     ///< memory + disk hits
     size_t misses = 0;
     size_t rebinds = 0;  ///< hits that rewrote at least one angle
     size_t entries = 0;  ///< current resident entries
     size_t evictions = 0;
+    size_t diskHits = 0;   ///< hits served by the persistent tier
+    size_t diskStores = 0; ///< fresh compiles written through to disk
 };
 
 /**
- * Thread-safe memo table. Lookups copy the entry out under the lock;
- * rebinding happens on the caller's copy. When the table exceeds its
- * capacity it is cleared wholesale — the working sets here are a few
- * programs, so anything fancier is wasted machinery.
+ * Thread-safe memo table with an optional persistent second tier.
+ * Lookups copy the entry out under the lock; rebinding happens on
+ * the caller's copy. When the table exceeds its capacity it is
+ * cleared wholesale — the working sets here are a few programs, so
+ * anything fancier is wasted machinery.
+ *
+ * When a DiskTier is attached (setDiskTier), the cache is
+ * write-through: a memory miss probes the tier before reporting a
+ * miss (a tier hit is promoted into the memory table), and every
+ * fresh insert is persisted. The tier sees only (key, entry) pairs;
+ * all policy — directory, enablement, serialization, corruption
+ * handling — lives behind the interface in src/store.
  */
 class CircuitCache
 {
   public:
+    /**
+     * Persistent tier under the in-memory table. Implementations
+     * must be thread-safe and must treat any unreadable or invalid
+     * entry as a miss — a load() failure of any kind returns false
+     * and the caller recompiles.
+     */
+    class DiskTier
+    {
+      public:
+        virtual ~DiskTier() = default;
+
+        /** Fetch the entry for `key`; false on miss/invalid entry. */
+        virtual bool load(const CacheKey &key, CachedCompile &out) = 0;
+
+        /**
+         * Persist an entry (best effort); true when the entry was
+         * actually written (false when the tier is disabled or the
+         * write failed).
+         */
+        virtual bool save(const CacheKey &key,
+                          const CachedCompile &entry) = 0;
+    };
+
     explicit CircuitCache(size_t capacity = 8192) : cap(capacity) {}
+
+    /** Attach (or detach, with nullptr) the persistent tier. */
+    void setDiskTier(std::shared_ptr<DiskTier> tier);
 
     /**
      * Probe for `key`; on a hit, copy the entry into `out`, rewrite
@@ -108,6 +169,10 @@ class CircuitCache
     // circuit copy and rebind happen on the caller's thread outside
     // the critical section (compileTerms fans many threads through
     // here).
+    /** Memory-table insert; true when `sp` was newly added. */
+    bool insertMemo(const CacheKey &key,
+                    std::shared_ptr<const CachedCompile> sp);
+
     mutable std::mutex mtx;
     size_t cap;
     std::unordered_map<
@@ -116,18 +181,30 @@ class CircuitCache
                               std::shared_ptr<const CachedCompile>>>>
         table;
     CacheStats counters;
+    std::shared_ptr<DiskTier> disk;
 };
 
 /**
  * Process-wide cache shared by the pipeline convenience paths.
  * Capacity defaults to 8192 entries (a whole-Hamiltonian per-term
  * sweep of the largest catalog molecule fits with room to spare) and
- * can be overridden with QCC_COMPILE_CACHE_CAP.
+ * can be overridden with QCC_COMPILE_CACHE_CAP. The persistent
+ * DiskCircuitStore tier (src/store) is attached on first use; it
+ * no-ops unless QCC_STORE_DIR (or qcc::setStoreDir) configures a
+ * store root.
  */
 CircuitCache &globalCircuitCache();
 
 /** False when QCC_COMPILE_CACHE=0 disables memoization. */
 bool circuitCacheEnabled();
+
+/**
+ * Factory for the persistent tier attached to globalCircuitCache().
+ * Declared here, defined in src/store/circuit_store.cc — the store
+ * layer owns serialization and storage policy; the compiler layer
+ * only sees the DiskTier interface.
+ */
+std::shared_ptr<CircuitCache::DiskTier> makeGlobalCircuitDiskTier();
 
 } // namespace qcc
 

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DiskCircuitStore — the persistent tier of the compile cache. A
+ * compiled circuit's structure (gates, RZ rebind indices, layouts,
+ * SWAP count) depends only on the CacheKey content — Pauli strings,
+ * device, flow — so one serialized entry per key makes every
+ * (molecule, pipeline, architecture) combination a compile-once
+ * artifact: a restarted service, a fresh sweep worker process, or a
+ * CI re-run rebinds angles on the deserialized structure instead of
+ * re-running layout and routing.
+ *
+ * ## Entry format (docs/caching.md has the full story)
+ *
+ * One file per key under `<store>/circuits/`, named by two
+ * independent 64-bit hashes of the key words. The payload is:
+ *
+ *   magic 'QCCC' | format version | full key words | circuit
+ *   (width + gate list) | RZ rebind indices | initial/final layouts
+ *   | SWAP count | FNV-1a checksum of everything before it
+ *
+ * Loads validate in order: checksum, magic, version, full key
+ * equality (a filename hash collision therefore demotes to a miss,
+ * exactly like the in-memory probe), then every structural invariant
+ * (gate kinds and operands in range, RZ indices pointing at RZ
+ * gates, layouts permutation-valid). Any failure counts a bad entry,
+ * deletes the file, and returns a miss — a corrupt store can cost a
+ * recompile, never a crash and never a wrong circuit.
+ *
+ * Writes are atomic (temp file + rename), so concurrent writers —
+ * threads or separate processes sharing one store — race benignly:
+ * readers only ever observe complete files.
+ */
+
+#ifndef QCC_STORE_CIRCUIT_STORE_HH
+#define QCC_STORE_CIRCUIT_STORE_HH
+
+#include <memory>
+#include <string>
+
+#include "compiler/cache.hh"
+
+namespace qcc {
+
+/** Persistent CircuitCache tier (see file comment). */
+class DiskCircuitStore : public CircuitCache::DiskTier
+{
+  public:
+    /**
+     * A store rooted at `dir`; "" defers to the global
+     * configuration (QCC_STORE_DIR / setStoreDir) on every call,
+     * which is how the tier attached to the global cache follows
+     * runtime reconfiguration.
+     */
+    explicit DiskCircuitStore(std::string dir = "");
+
+    bool load(const CacheKey &key, CachedCompile &out) override;
+    bool save(const CacheKey &key, const CachedCompile &entry) override;
+
+    /**
+     * Entry path for `key` under the active root, or "" when the
+     * store is disabled. Exposed for tests (corruption injection)
+     * and debugging.
+     */
+    std::string pathFor(const CacheKey &key) const;
+
+  private:
+    std::string resolveDir() const;
+
+    std::string dirOverride;
+};
+
+/**
+ * Serialize/deserialize one cache entry (the payload format above,
+ * checksum included). Exposed for tests; false on any validation
+ * failure.
+ */
+std::string serializeCachedCompile(const CacheKey &key,
+                                   const CachedCompile &entry);
+bool deserializeCachedCompile(const std::string &bytes,
+                              const CacheKey &key, CachedCompile &out);
+
+/** Current on-disk format version of circuit entries. */
+uint32_t circuitStoreVersion();
+
+} // namespace qcc
+
+#endif // QCC_STORE_CIRCUIT_STORE_HH

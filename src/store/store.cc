@@ -1,0 +1,176 @@
+#include "store/store.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+
+namespace qcc {
+
+namespace {
+
+struct Counters
+{
+    std::atomic<size_t> circuitDiskHits{0};
+    std::atomic<size_t> circuitDiskMisses{0};
+    std::atomic<size_t> circuitDiskWrites{0};
+    std::atomic<size_t> circuitBadEntries{0};
+    std::atomic<size_t> problemMemHits{0};
+    std::atomic<size_t> problemDiskHits{0};
+    std::atomic<size_t> problemBuilds{0};
+    std::atomic<size_t> problemDiskWrites{0};
+    std::atomic<size_t> problemBadEntries{0};
+};
+
+Counters &
+counters()
+{
+    static Counters c;
+    return c;
+}
+
+/**
+ * Runtime configuration with env fallback. The mutex makes the
+ * override setters safe against concurrent store probes; steady-state
+ * reads are a lock + two small copies, dwarfed by the file IO they
+ * gate.
+ */
+struct Config
+{
+    std::mutex mtx;
+    bool dirOverridden = false;
+    std::string dirOverride;
+    bool enabledOverridden = false;
+    bool enabledOverride = true;
+};
+
+Config &
+config()
+{
+    static Config c;
+    return c;
+}
+
+} // namespace
+
+StoreStats
+storeStats()
+{
+    const Counters &c = counters();
+    StoreStats s;
+    s.circuitDiskHits = c.circuitDiskHits.load();
+    s.circuitDiskMisses = c.circuitDiskMisses.load();
+    s.circuitDiskWrites = c.circuitDiskWrites.load();
+    s.circuitBadEntries = c.circuitBadEntries.load();
+    s.problemMemHits = c.problemMemHits.load();
+    s.problemDiskHits = c.problemDiskHits.load();
+    s.problemBuilds = c.problemBuilds.load();
+    s.problemDiskWrites = c.problemDiskWrites.load();
+    s.problemBadEntries = c.problemBadEntries.load();
+    return s;
+}
+
+void
+resetStoreStats()
+{
+    Counters &c = counters();
+    c.circuitDiskHits = 0;
+    c.circuitDiskMisses = 0;
+    c.circuitDiskWrites = 0;
+    c.circuitBadEntries = 0;
+    c.problemMemHits = 0;
+    c.problemDiskHits = 0;
+    c.problemBuilds = 0;
+    c.problemDiskWrites = 0;
+    c.problemBadEntries = 0;
+}
+
+std::string
+storeStatsJson()
+{
+    const StoreStats s = storeStats();
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "\"enabled\": %s,\n"
+        "\"dir\": \"%s\",\n"
+        "\"circuit\": {\"disk_hits\": %zu, \"disk_misses\": %zu, "
+        "\"disk_writes\": %zu, \"bad_entries\": %zu},\n"
+        "\"problem\": {\"mem_hits\": %zu, \"disk_hits\": %zu, "
+        "\"builds\": %zu, \"disk_writes\": %zu, "
+        "\"bad_entries\": %zu}\n"
+        "}\n",
+        storeEnabled() ? "true" : "false", storeDir().c_str(),
+        s.circuitDiskHits, s.circuitDiskMisses, s.circuitDiskWrites,
+        s.circuitBadEntries, s.problemMemHits, s.problemDiskHits,
+        s.problemBuilds, s.problemDiskWrites, s.problemBadEntries);
+    return buf;
+}
+
+void countCircuitDiskHit() { ++counters().circuitDiskHits; }
+void countCircuitDiskMiss() { ++counters().circuitDiskMisses; }
+void countCircuitDiskWrite() { ++counters().circuitDiskWrites; }
+void countCircuitBadEntry() { ++counters().circuitBadEntries; }
+void countProblemMemHit() { ++counters().problemMemHits; }
+void countProblemDiskHit() { ++counters().problemDiskHits; }
+void countProblemBuild() { ++counters().problemBuilds; }
+void countProblemDiskWrite() { ++counters().problemDiskWrites; }
+void countProblemBadEntry() { ++counters().problemBadEntries; }
+
+std::string
+storeDir()
+{
+    Config &c = config();
+    std::lock_guard<std::mutex> lock(c.mtx);
+    if (c.dirOverridden)
+        return c.dirOverride;
+    const char *env = std::getenv("QCC_STORE_DIR");
+    return env ? std::string(env) : std::string();
+}
+
+bool
+storeEnabled()
+{
+    {
+        Config &c = config();
+        std::lock_guard<std::mutex> lock(c.mtx);
+        if (c.enabledOverridden && !c.enabledOverride)
+            return false;
+        if (!c.enabledOverridden) {
+            const char *env = std::getenv("QCC_STORE");
+            if (env && std::string(env) == "0")
+                return false;
+        }
+    }
+    return !storeDir().empty();
+}
+
+void
+setStoreDir(const std::string &dir)
+{
+    Config &c = config();
+    std::lock_guard<std::mutex> lock(c.mtx);
+    c.dirOverridden = true;
+    c.dirOverride = dir;
+}
+
+void
+setStoreEnabled(bool enabled)
+{
+    Config &c = config();
+    std::lock_guard<std::mutex> lock(c.mtx);
+    c.enabledOverridden = true;
+    c.enabledOverride = enabled;
+}
+
+bool
+ensureDirectory(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return !ec && std::filesystem::is_directory(dir, ec);
+}
+
+} // namespace qcc

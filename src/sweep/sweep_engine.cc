@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "compiler/cache.hh"
+#include "store/problem_store.hh"
 
 namespace qcc {
 
@@ -65,6 +66,8 @@ SweepEngine::runJob(size_t index, ResultStore &store)
         store.markRunning(index);
         if (opts.coldCompileCache)
             globalCircuitCache().clear();
+        if (opts.coldProblemCache)
+            globalProblemStore().clearMemory();
 
         const auto t0 = clock_type::now();
         const int maxAttempts = 1 + std::max(0, opts.retries);

@@ -7,12 +7,16 @@
  * counter, run each through the ordinary Experiment facade, and
  * land records in the ResultStore's index-addressed slots, so
  * completion order never leaks into the aggregate. Jobs share the
- * process-wide CircuitCache and gradient BufferPool (both are
- * mutex-guarded), which is the engine's throughput lever: repeated
- * compilations of the same program across jobs — same molecule,
- * different shots/seeds/bonds — rebind angles on the memoized
- * structure instead of re-routing (bench_sweep measures the
- * cold-vs-shared gap).
+ * process-wide CircuitCache, MolecularProblemStore, and gradient
+ * BufferPool (all mutex-guarded), which is the engine's throughput
+ * lever: repeated compilations of the same program across jobs —
+ * same molecule, different shots/seeds/bonds — rebind angles on the
+ * memoized structure instead of re-routing, and workers racing on
+ * the same chemistry share a single integrals/HF build instead of
+ * duplicating it (bench_sweep measures the cold-vs-shared gap).
+ * When a persistent store is configured (QCC_STORE_DIR, see
+ * src/store), all workers additionally share the warm on-disk tier,
+ * so a re-run of a sweep skips compilation and chemistry entirely.
  *
  * Failure policy: spec/registry errors fail a job immediately (a
  * retry cannot fix a typo'd key), other exceptions retry up to the
@@ -71,6 +75,15 @@ struct SweepEngineOptions
      * the other workers).
      */
     bool coldCompileCache = false;
+
+    /**
+     * Clear the global MolecularProblemStore memo before every job
+     * (same baseline role and concurrency-1 caveat as
+     * coldCompileCache). Neither flag touches the persistent disk
+     * tier — benches point QCC_STORE_DIR elsewhere (or disable it)
+     * to get a truly cold run.
+     */
+    bool coldProblemCache = false;
 
     SweepProgressFn progress;
 };
