@@ -1,22 +1,27 @@
 /**
  * @file
  * SweepEngine throughput study: the same >= 8-job sweep executed
- * five ways — serial with cold caches (compile cache and problem
+ * several ways — serial with cold caches (compile cache and problem
  * memo cleared before every job, so each job pays full chemistry +
  * layout/routing), serial with the shared in-memory caches,
- * concurrent with the shared caches, serial against a cold
- * persistent store (fresh directory, so this run pays the
- * write-through on top of the shared-cache path), and serial
+ * concurrent with the shared caches both with the per-job width cap
+ * (capJobWidth: N jobs split parallelThreads() between them) and
+ * without it (every job sizes its sweeps to the whole machine —
+ * the nested-parallelism oversubscription the cap fixes), serial
+ * against a cold persistent store (fresh directory, so this run
+ * pays the write-through on top of the shared-cache path), serial
  * against the warm persistent store with the in-memory caches
  * dropped once (every compile and chemistry build is served from
- * disk — the restarted-process / second-sweep scenario). The jobs
- * differ only in seed, which is exactly the repeated-compilation
- * shape batch studies produce (same molecule, new
- * parameterization), so the cold-vs-shared gap isolates what the
- * process-wide caches buy a sweep and the warm-disk row shows what
- * survives a process restart. Speedups land in BENCH_sweep.json;
- * the aggregate store is written as SWEEP_bench_sweep.json when
- * QCC_JSON is set.
+ * disk — the restarted-process / second-sweep scenario), and the
+ * sweepd process pool against that warm store (one forked worker
+ * per job sharing compiles cross-process through the disk tier).
+ * The jobs differ only in seed, which is exactly the
+ * repeated-compilation shape batch studies produce (same molecule,
+ * new parameterization), so the cold-vs-shared gap isolates what
+ * the process-wide caches buy a sweep and the warm-disk row shows
+ * what survives a process restart. Speedups land in
+ * BENCH_sweep.json; the aggregate store is written as
+ * SWEEP_bench_sweep.json when QCC_JSON is set.
  */
 
 #include <chrono>
@@ -28,6 +33,7 @@
 #include "store/problem_store.hh"
 #include "store/store.hh"
 #include "sweep/sweep_engine.hh"
+#include "sweepd/service.hh"
 
 using namespace qcc;
 using namespace qccbench;
@@ -73,7 +79,7 @@ struct RunOutcome
 
 RunOutcome
 runStudy(const SweepSpec &spec, unsigned concurrency, bool cold_cache,
-         ResultStore *store_out = nullptr)
+         ResultStore *store_out = nullptr, bool cap_width = true)
 {
     // Every row starts with empty in-memory caches; whether jobs
     // after the first warm them up is the row's cold_cache knob, and
@@ -88,6 +94,7 @@ runStudy(const SweepSpec &spec, unsigned concurrency, bool cold_cache,
     opts.concurrency = concurrency;
     opts.coldCompileCache = cold_cache;
     opts.coldProblemCache = cold_cache;
+    opts.capJobWidth = cap_width;
     SweepEngine engine(spec, opts);
 
     const auto t0 = clock_type::now();
@@ -124,6 +131,35 @@ double
 speedup(const RunOutcome &base, const RunOutcome &o)
 {
     return o.wallMs > 0 ? base.wallMs / o.wallMs : 0.0;
+}
+
+/**
+ * The same sweep through the sweepd process pool (one forked worker
+ * per job, qcc_sweepd --worker). In-process cache counters are
+ * meaningless here — each worker has its own — so the row reports
+ * wall clock and completions; with QCC_STORE_DIR pointing at the
+ * warm bench store, workers share compiles and chemistry through
+ * the disk tier instead.
+ */
+RunOutcome
+runProcessPool(const SweepSpec &spec, unsigned concurrency,
+               const std::string &worker_path)
+{
+    sweepd::SweepdOptions opts;
+    opts.workerPath = worker_path;
+    opts.concurrency = concurrency;
+    opts.resume = false;      // a bench row never adopts
+    opts.writeThrough = false;
+
+    sweepd::SweepdService service(opts);
+    const auto t0 = clock_type::now();
+    ResultStore store = service.submit(spec);
+    RunOutcome out;
+    out.wallMs = std::chrono::duration<double, std::milli>(
+                     clock_type::now() - t0)
+                     .count();
+    out.done = store.countWithStatus(JobStatus::Done);
+    return out;
 }
 
 } // namespace
@@ -186,10 +222,22 @@ main()
 
     ResultStore store("bench_sweep", true);
     RunOutcome conc = runStudy(spec, width, false, &store);
-    printRow(("concurrent x" + std::to_string(width) + ", shared")
+    printRow(("concurrent x" + std::to_string(width) + ", capped")
                  .c_str(),
              conc);
-    addRow("concurrent_shared", conc, &cold, double(width));
+    addRow("concurrent_capped", conc, &cold, double(width));
+
+    // Same run without the per-job width cap: every one of the
+    // `width` jobs sizes its data-parallel sweeps to the whole
+    // machine, oversubscribing it width-fold. The capped row above
+    // splits parallelThreads() across the workers instead (results
+    // are bit-identical either way; see common/parallel).
+    RunOutcome uncapped = runStudy(spec, width, false, nullptr,
+                                   /*cap_width=*/false);
+    printRow(("concurrent x" + std::to_string(width) + ", uncapped")
+                 .c_str(),
+             uncapped);
+    addRow("concurrent_uncapped", uncapped, &cold, double(width));
 
     // Persistent-store rows: first against an empty directory (pays
     // serialization on every fresh compile/build), then against the
@@ -203,19 +251,43 @@ main()
     RunOutcome warmDisk = runStudy(spec, 1, false);
     printRow("serial, disk store warm", warmDisk);
     addRow("warm_disk", warmDisk, &cold, 0);
+
+    // Process-per-job row: the sweepd pool against the store the
+    // disk rows just warmed, so forked workers share compiles and
+    // chemistry across process boundaries through the disk tier.
+    const std::string workerBin =
+        (std::filesystem::path(
+             sweepd::selfExecutablePath(nullptr))
+             .parent_path() /
+         "qcc_sweepd")
+            .string();
+    if (std::filesystem::exists(workerBin)) {
+        RunOutcome pool = runProcessPool(spec, width, workerBin);
+        printRow(("process pool x" + std::to_string(width) +
+                  ", warm disk")
+                     .c_str(),
+                 pool);
+        addRow("process_pool", pool, &cold, double(width));
+    } else {
+        std::printf("%-24s   (skipped: %s not built)\n",
+                    "process pool", workerBin.c_str());
+    }
     setStoreDir("");
 
     rule();
-    std::printf("concurrent shared vs serial cold: %.2fx\n",
+    std::printf("concurrent capped vs serial cold:  %.2fx\n",
                 speedup(cold, conc));
-    std::printf("warm disk store vs serial cold:   %.2fx "
+    std::printf("width cap vs uncapped:             %.2fx\n",
+                speedup(uncapped, conc));
+    std::printf("warm disk store vs serial cold:    %.2fx "
                 "(acceptance: >= 2x)\n",
                 speedup(cold, warmDisk));
     std::printf("expected shape: the shared rows replace all but "
                 "one compile and chemistry build per program with "
                 "cache hits; the warm-disk row gets the same "
                 "effect across process restarts, paying only "
-                "deserialization.\n");
+                "deserialization; the capped row avoids running "
+                "width x parallelThreads() threads at once.\n");
 
     store.write(); // SWEEP_bench_sweep.json under QCC_JSON
     std::filesystem::remove_all(storeRoot, ec);

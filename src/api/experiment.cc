@@ -315,6 +315,141 @@ ExperimentResult::json(const JsonOptions &options) const
     return out;
 }
 
+namespace {
+
+bool
+readUnsigned(const JsonValue &v, uint64_t &out)
+{
+    return v.asUint64(out);
+}
+
+bool
+readDouble(const JsonValue &v, double &out)
+{
+    if (!v.isNumber())
+        return false;
+    out = v.number;
+    return true;
+}
+
+bool
+readBool(const JsonValue &v, bool &out)
+{
+    if (!v.isBool())
+        return false;
+    out = v.boolean;
+    return true;
+}
+
+bool
+readCompiled(const JsonValue &v, CompiledStats &out)
+{
+    if (!v.isObject())
+        return false;
+    out.present = true;
+    uint64_t u = 0;
+    for (const auto &[key, m] : v.members) {
+        if (key == "pipeline" && m.isString()) {
+            out.pipeline = m.text;
+        } else if (key == "device" && m.isString()) {
+            out.device = m.text;
+        } else if (key == "gates" && readUnsigned(m, u)) {
+            out.gates = size_t(u);
+        } else if (key == "cnots" && readUnsigned(m, u)) {
+            out.cnots = size_t(u);
+        } else if (key == "depth" && readUnsigned(m, u)) {
+            out.depth = size_t(u);
+        } else if (key == "swaps" && readUnsigned(m, u)) {
+            out.swaps = size_t(u);
+        } else if (key == "overhead_cnots" && readUnsigned(m, u)) {
+            out.overheadCnots = size_t(u);
+        } else if (key == "millis" && readDouble(m, out.millis)) {
+        } else if (key == "cache_hit" && readBool(m, out.cacheHit)) {
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+ExperimentResult::fromJsonDom(const JsonValue &doc,
+                              ExperimentResult &out)
+{
+    if (!doc.isObject())
+        return false;
+    ExperimentResult r;
+    bool haveSpec = false, haveEnergy = false;
+    uint64_t u = 0;
+    try {
+        for (const auto &[key, v] : doc.members) {
+            if (key == "spec") {
+                if (!v.isObject())
+                    return false;
+                for (const auto &[field, fv] : v.members)
+                    applySpecField(r.spec, field, fv);
+                haveSpec = true;
+            } else if (key == "n_qubits" && readUnsigned(v, u)) {
+                r.nQubits = unsigned(u);
+            } else if (key == "n_params" && readUnsigned(v, u)) {
+                r.nParams = unsigned(u);
+            } else if (key == "full_params" && readUnsigned(v, u)) {
+                r.fullParams = unsigned(u);
+            } else if (key == "hamiltonian_terms" &&
+                       readUnsigned(v, u)) {
+                r.hamiltonianTerms = size_t(u);
+            } else if (key == "measurement_settings" &&
+                       readUnsigned(v, u)) {
+                r.measurementSettings = size_t(u);
+            } else if (key == "hartree_fock" &&
+                       readDouble(v, r.hartreeFock)) {
+            } else if (key == "fci" && readDouble(v, r.fci)) {
+            } else if (key == "have_fci" && readBool(v, r.haveFci)) {
+            } else if (key == "energy" &&
+                       readDouble(v, r.vqe.energy)) {
+                haveEnergy = true;
+            } else if (key == "iterations" && readUnsigned(v, u)) {
+                r.vqe.iterations = int(u);
+            } else if (key == "evals" && readUnsigned(v, u)) {
+                r.vqe.evals = int(u);
+            } else if (key == "converged" &&
+                       readBool(v, r.vqe.converged)) {
+            } else if (key == "shots" && readUnsigned(v, u)) {
+                r.shots = u;
+            } else if (key == "compiled") {
+                if (!readCompiled(v, r.compiled))
+                    return false;
+            } else if (key == "timing_ms") {
+                if (!v.isObject())
+                    return false;
+                for (const auto &[tk, tv] : v.members) {
+                    double *slot =
+                        tk == "build"     ? &r.buildMillis
+                        : tk == "vqe"     ? &r.vqeMillis
+                        : tk == "compile" ? &r.compileMillis
+                        : tk == "total"   ? &r.totalMillis
+                                          : nullptr;
+                    if (!slot || !readDouble(tv, *slot))
+                        return false;
+                }
+            } else if (key == "trace") {
+                // A full RESULT document carries the VQE trace; the
+                // rehydrated result does not (documented partial).
+            } else {
+                return false;
+            }
+        }
+    } catch (const std::exception &) {
+        return false; // applySpecField rejected a spec member
+    }
+    if (!haveSpec || !haveEnergy)
+        return false;
+    out = std::move(r);
+    return true;
+}
+
 std::string
 ExperimentResult::write(const std::string &name) const
 {

@@ -129,6 +129,21 @@ struct ExperimentResult
     std::string json(const JsonOptions &options) const;
 
     /**
+     * Rehydrate a result from a parsed json() document — the resume
+     * path: the sweep layer reads completed job records back out of
+     * an existing SWEEP_*.json and re-serializes them, and because
+     * every number round-trips exactly (%.17g / %.6g both survive a
+     * parse-and-reprint), the rehydrated record's json() is
+     * byte-identical to the original. Restores the serialized subset
+     * only: the in-memory handles (hamiltonian, ansatz), the VQE
+     * trace, and the parameter vector stay empty. False when `doc`
+     * is not a result document (missing/ill-typed members); `out`
+     * is untouched on failure.
+     */
+    static bool fromJsonDom(const JsonValue &doc,
+                            ExperimentResult &out);
+
+    /**
      * Write json() as RESULT_<name>.json under the QCC_JSON
      * convention; returns the path written ("" when disabled).
      */

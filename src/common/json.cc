@@ -138,9 +138,9 @@ class Parser
         return v;
     }
 
-    /** \uXXXX (BMP only), encoded back to UTF-8. */
-    std::string
-    parseUnicodeEscape()
+    /** The four hex digits of one \uXXXX escape. */
+    unsigned
+    readHex4()
     {
         if (pos + 4 > s.size())
             throw JsonError("truncated \\u escape", pos);
@@ -158,14 +158,53 @@ class Parser
                 throw JsonError("bad hex digit in \\u escape",
                                 pos - 1);
         }
+        return cp;
+    }
+
+    /**
+     * \uXXXX, encoded back to UTF-8. Astral-plane characters arrive
+     * as a UTF-16 surrogate pair (high D800-DBFF immediately
+     * followed by \u-escaped low DC00-DFFF) and are combined into
+     * one 4-byte UTF-8 sequence; an unpaired or out-of-order
+     * surrogate is a JsonError naming the offset — emitting it raw
+     * would silently corrupt the string on round trip (invalid
+     * UTF-8 that re-serializes as garbage).
+     */
+    std::string
+    parseUnicodeEscape()
+    {
+        const size_t escapeStart = pos - 2; // the backslash
+        unsigned cp = readHex4();
+        if (cp >= 0xDC00 && cp <= 0xDFFF)
+            throw JsonError("unpaired low surrogate in \\u escape",
+                            escapeStart);
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos + 2 > s.size() || s[pos] != '\\' ||
+                s[pos + 1] != 'u')
+                throw JsonError(
+                    "high surrogate not followed by a \\u escape",
+                    escapeStart);
+            pos += 2;
+            const unsigned lo = readHex4();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+                throw JsonError("high surrogate followed by a "
+                                "non-low-surrogate \\u escape",
+                                escapeStart);
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        }
         std::string out;
         if (cp < 0x80) {
             out += char(cp);
         } else if (cp < 0x800) {
             out += char(0xC0 | (cp >> 6));
             out += char(0x80 | (cp & 0x3F));
-        } else {
+        } else if (cp < 0x10000) {
             out += char(0xE0 | (cp >> 12));
+            out += char(0x80 | ((cp >> 6) & 0x3F));
+            out += char(0x80 | (cp & 0x3F));
+        } else {
+            out += char(0xF0 | (cp >> 18));
+            out += char(0x80 | ((cp >> 12) & 0x3F));
             out += char(0x80 | ((cp >> 6) & 0x3F));
             out += char(0x80 | (cp & 0x3F));
         }

@@ -12,7 +12,9 @@
  *
  * This is deliberately not a general-purpose JSON library: no
  * comments, no NaN/Inf extensions, UTF-8 pass-through for string
- * bytes, \uXXXX escapes limited to the BMP.
+ * bytes. \uXXXX escapes cover the full Unicode range: astral-plane
+ * characters arrive as UTF-16 surrogate pairs and decode to 4-byte
+ * UTF-8; an unpaired surrogate is a JsonError naming the offset.
  */
 
 #ifndef QCC_COMMON_JSON_HH

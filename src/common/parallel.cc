@@ -24,6 +24,54 @@ parallelThreads()
     return n;
 }
 
+namespace {
+
+/**
+ * Process-wide lane cap (QCC_JOB_WIDTH, 0/unset = uncapped): the
+ * knob the sweepd service sets on worker processes so N concurrent
+ * workers split the machine instead of each sizing to all of it.
+ */
+unsigned
+envLaneCap()
+{
+    static const unsigned n = [] {
+        if (const char *env = std::getenv("QCC_JOB_WIDTH")) {
+            long v = std::strtol(env, nullptr, 10);
+            if (v >= 1)
+                return unsigned(v);
+        }
+        return 0u;
+    }();
+    return n;
+}
+
+thread_local unsigned tlsLaneCap = 0;
+
+} // namespace
+
+unsigned
+parallelLanes()
+{
+    unsigned lanes = parallelThreads();
+    if (envLaneCap() && envLaneCap() < lanes)
+        lanes = envLaneCap();
+    if (tlsLaneCap && tlsLaneCap < lanes)
+        lanes = tlsLaneCap;
+    return lanes;
+}
+
+ParallelWidthCap::ParallelWidthCap(unsigned lanes)
+    : previous(tlsLaneCap)
+{
+    if (lanes)
+        tlsLaneCap = lanes;
+}
+
+ParallelWidthCap::~ParallelWidthCap()
+{
+    tlsLaneCap = previous;
+}
+
 BoundedExecutor::BoundedExecutor(unsigned width)
     : concurrency(width ? width : parallelThreads())
 {
@@ -78,12 +126,17 @@ class ThreadPool
     static ThreadPool &
     instance()
     {
-        static ThreadPool pool(parallelThreads());
+        // Under a process-wide lane cap (QCC_JOB_WIDTH) the extra
+        // workers could never win a lane — don't create them.
+        static ThreadPool pool(
+            envLaneCap() ? std::min(parallelThreads(), envLaneCap())
+                         : parallelThreads());
         return pool;
     }
 
     void
-    run(size_t n_chunks, const std::function<void(size_t)> &fn)
+    run(size_t n_chunks, const std::function<void(size_t)> &fn,
+        unsigned max_lanes)
     {
         std::unique_lock<std::mutex> jobLock(jobMutex);
         {
@@ -92,6 +145,9 @@ class ThreadPool
             nextChunk.store(0, std::memory_order_relaxed);
             totalChunks = n_chunks;
             pendingChunks.store(n_chunks, std::memory_order_relaxed);
+            // The caller is always one lane; workers claim the rest.
+            laneBudget.store(max_lanes > 0 ? max_lanes - 1 : 0,
+                             std::memory_order_relaxed);
             ++generation;
         }
         cv.notify_all();
@@ -139,6 +195,24 @@ class ThreadPool
         }
     }
 
+    /**
+     * Claim one of the job's worker lanes; false sends this worker
+     * back to sleep, leaving the job to the caller and the lanes
+     * that did win. Capped jobs (ParallelWidthCap, QCC_JOB_WIDTH)
+     * budget fewer lanes than there are workers.
+     */
+    bool
+    acquireLane()
+    {
+        unsigned v = laneBudget.load(std::memory_order_relaxed);
+        while (v > 0)
+            if (laneBudget.compare_exchange_weak(
+                    v, v - 1, std::memory_order_acquire,
+                    std::memory_order_relaxed))
+                return true;
+        return false;
+    }
+
     void
     workerLoop()
     {
@@ -154,7 +228,8 @@ class ThreadPool
                     return;
                 seen = generation;
             }
-            work();
+            if (acquireLane())
+                work();
         }
     }
 
@@ -165,6 +240,7 @@ class ThreadPool
     const std::function<void(size_t)> *job = nullptr;
     std::atomic<size_t> nextChunk{0};
     std::atomic<size_t> pendingChunks{0};
+    std::atomic<unsigned> laneBudget{0};
     size_t totalChunks = 0;
     uint64_t generation = 0;
     bool stopping = false;
@@ -179,13 +255,18 @@ poolRun(size_t n_chunks, const std::function<void(size_t)> &chunk_fn)
         return;
     // Nested parallelism (a chunk spawning chunks) runs serially: the
     // pool executes one job at a time and re-entering would deadlock.
-    if (insideJob || parallelThreads() <= 1 || n_chunks == 1) {
+    // A lane budget of 1 also runs inline — chunk for chunk, so the
+    // results match the pooled execution bit for bit — which lets
+    // width-capped sweep jobs proceed without ever touching (or
+    // waiting on) the shared pool.
+    const unsigned lanes = parallelLanes();
+    if (insideJob || lanes <= 1 || n_chunks == 1) {
         for (size_t ci = 0; ci < n_chunks; ++ci)
             chunk_fn(ci);
         return;
     }
     insideJob = true;
-    ThreadPool::instance().run(n_chunks, chunk_fn);
+    ThreadPool::instance().run(n_chunks, chunk_fn, lanes);
     insideJob = false;
 }
 

@@ -22,16 +22,54 @@ namespace qcc {
 
 /**
  * Worker count used for parallel sweeps: QCC_THREADS when set,
- * otherwise std::thread::hardware_concurrency (at least 1).
+ * otherwise std::thread::hardware_concurrency (at least 1). This is
+ * the number that shapes chunking — and therefore results — so it
+ * never varies at runtime.
  */
 unsigned parallelThreads();
+
+/**
+ * Pool lanes a data-parallel sweep started on the calling thread may
+ * occupy right now: parallelThreads() clamped by the process-wide
+ * `QCC_JOB_WIDTH` cap and any ParallelWidthCap active on this
+ * thread. Chunk structure is NOT derived from this (see
+ * ParallelWidthCap), so capping changes scheduling, never results.
+ */
+unsigned parallelLanes();
+
+/**
+ * RAII per-thread cap on the pool lanes parallelFor/parallelReduce
+ * sweeps may occupy — the fix for nested-parallelism
+ * oversubscription: when the sweep engine runs N concurrent jobs,
+ * each job caps its own sweeps to parallelThreads() / N lanes
+ * instead of letting every job contend for the whole machine. A cap
+ * of 1 runs sweeps inline on the caller (jobs stop serializing on
+ * the shared pool entirely); a cap of 0 is a no-op. Chunking still
+ * follows parallelThreads(), and chunk partials combine in chunk
+ * order, so a capped sweep is bit-identical to an uncapped one —
+ * the concurrency-1-vs-N byte-identity contract survives.
+ */
+class ParallelWidthCap
+{
+  public:
+    explicit ParallelWidthCap(unsigned lanes);
+    ~ParallelWidthCap();
+
+    ParallelWidthCap(const ParallelWidthCap &) = delete;
+    ParallelWidthCap &operator=(const ParallelWidthCap &) = delete;
+
+  private:
+    unsigned previous;
+};
 
 namespace detail {
 
 /**
  * Run chunk_fn(0) ... chunk_fn(n_chunks - 1) on the shared pool,
  * blocking until every chunk finishes. Chunks must be independent.
- * Nested calls from inside a chunk run serially.
+ * Nested calls from inside a chunk run serially, as does any call
+ * while parallelLanes() <= 1 (single core, QCC_THREADS=1, or a
+ * width cap of 1).
  */
 void poolRun(size_t n_chunks, const std::function<void(size_t)> &chunk_fn);
 

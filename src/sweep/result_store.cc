@@ -22,6 +22,17 @@ jobStatusName(JobStatus status)
     return "?";
 }
 
+const char *
+timeoutKindName(TimeoutKind kind)
+{
+    switch (kind) {
+      case TimeoutKind::None: return "";
+      case TimeoutKind::Soft: return "soft";
+      case TimeoutKind::Hard: return "hard";
+    }
+    return "";
+}
+
 ResultStore::ResultStore(std::string sweep_name, bool emit_timings)
     : sweepName(std::move(sweep_name)), emitTimings(emit_timings),
       mutex(std::make_unique<std::mutex>())
@@ -37,7 +48,58 @@ ResultStore::reset(const std::vector<ExperimentSpec> &jobs)
     for (size_t i = 0; i < jobs.size(); ++i) {
         records[i].index = i;
         records[i].spec = jobs[i];
+        records[i].specHash = sweepJobHash(jobs[i]);
     }
+}
+
+size_t
+ResultStore::adoptCompleted(const std::string &prior_doc)
+{
+    const JsonValue doc = JsonValue::parse(prior_doc);
+    const JsonValue *jobs = doc.find("jobs");
+    if (!jobs || !jobs->isArray())
+        return 0;
+
+    std::lock_guard<std::mutex> lock(*mutex);
+    size_t adopted = 0;
+    for (const JsonValue &entry : jobs->items) {
+        if (!entry.isObject())
+            continue;
+        const JsonValue *idx = entry.find("index");
+        const JsonValue *hash = entry.find("spec_hash");
+        const JsonValue *status = entry.find("status");
+        const JsonValue *result = entry.find("result");
+        uint64_t i = 0;
+        if (!idx || !idx->asUint64(i) || i >= records.size())
+            continue;
+        if (!hash || !hash->isString() ||
+            hash->text != records[i].specHash)
+            continue; // spec changed since the prior run
+        if (!status || !status->isString() || status->text != "done")
+            continue; // failures get a second chance on resume
+        if (!result)
+            continue;
+        ExperimentResult rehydrated;
+        if (!ExperimentResult::fromJsonDom(*result, rehydrated))
+            continue;
+        SweepJobRecord &rec = records[i];
+        rec.status = JobStatus::Done;
+        rec.timeoutKind = TimeoutKind::None;
+        rec.result = std::move(rehydrated);
+        rec.error.clear();
+        rec.attempts = 1;
+        if (const JsonValue *attempts = entry.find("attempts")) {
+            uint64_t a = 0;
+            if (attempts->asUint64(a))
+                rec.attempts = int(a);
+        }
+        rec.wallMillis = 0.0;
+        if (const JsonValue *wall = entry.find("wall_ms"))
+            if (wall->isNumber())
+                rec.wallMillis = wall->number;
+        ++adopted;
+    }
+    return adopted;
 }
 
 void
@@ -219,6 +281,12 @@ ResultStore::json() const
                       i ? "," : "", r.index,
                       jobStatusName(r.status), r.attempts);
         out += buf;
+        if (!r.specHash.empty())
+            out += ", \"spec_hash\": \"" + r.specHash + "\"";
+        if (r.status == JobStatus::TimedOut &&
+            r.timeoutKind != TimeoutKind::None)
+            out += std::string(", \"timeout_kind\": \"") +
+                   timeoutKindName(r.timeoutKind) + "\"";
         if (!r.error.empty())
             out += ", \"error\": \"" + jsonEscape(r.error) + "\"";
         if (emitTimings) {

@@ -43,22 +43,48 @@ enum class JobStatus
 /** JSON/status-table name ("done", "failed", ...). */
 const char *jobStatusName(JobStatus status);
 
+/**
+ * How a TimedOut record timed out. Soft is the in-process engine's
+ * semantics — the job ran to completion past its budget, so a result
+ * exists; Hard is the sweepd process-per-job semantics — the worker
+ * was killed at the deadline, so no result exists. None for every
+ * other status.
+ */
+enum class TimeoutKind
+{
+    None,
+    Soft,
+    Hard,
+};
+
+/** JSON name ("soft"/"hard"; "" for None). */
+const char *timeoutKindName(TimeoutKind kind);
+
 /** One job's record. */
 struct SweepJobRecord
 {
     size_t index = 0;        ///< position in the expanded job list
     ExperimentSpec spec;     ///< the job as expanded (pre-run)
+    /** Content hash of `spec` (sweepJobHash): the resume key. */
+    std::string specHash;
     JobStatus status = JobStatus::Pending;
+    TimeoutKind timeoutKind = TimeoutKind::None;
     int attempts = 0;
     std::string error;       ///< failure diagnostic (Failed)
     double wallMillis = 0.0;
-    /** Valid when status is Done or TimedOut (the run finished). */
+    /** Valid when finished() (the run produced a result). */
     ExperimentResult result;
 
+    /**
+     * True when the run produced a valid `result`: Done, or a soft
+     * timeout (the job completed, just late). A hard timeout killed
+     * the worker mid-run — there is nothing to read.
+     */
     bool finished() const
     {
         return status == JobStatus::Done ||
-               status == JobStatus::TimedOut;
+               (status == JobStatus::TimedOut &&
+                timeoutKind == TimeoutKind::Soft);
     }
 
     /**
@@ -80,6 +106,22 @@ class ResultStore
 
     /** Install the expanded job list as Pending records. */
     void reset(const std::vector<ExperimentSpec> &jobs);
+
+    /**
+     * Resume support: adopt completed jobs from a previously written
+     * json() document. A prior "jobs" entry is adopted when its
+     * index is in range, its recorded spec_hash matches the current
+     * record's (same expanded spec), and its status is "done" — the
+     * record becomes Done with the rehydrated result
+     * (ExperimentResult::fromJsonDom), original attempts, and
+     * original wall_ms, so re-serialization reproduces the adopted
+     * record byte for byte. Failed/timed-out/skipped entries are NOT
+     * adopted (a resume is the second chance). Returns the number of
+     * jobs adopted; throws JsonError when `prior_doc` is not JSON,
+     * and silently adopts nothing from a document without a usable
+     * jobs array.
+     */
+    size_t adoptCompleted(const std::string &prior_doc);
 
     /** Record one finished/failed/skipped job (thread-safe). */
     void record(SweepJobRecord record);

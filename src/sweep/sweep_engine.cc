@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
+#include <sstream>
 
 #include "compiler/cache.hh"
 #include "store/problem_store.hh"
@@ -47,6 +49,17 @@ SweepEngine::run()
     ResultStore store(sweepSpec.name, sweepSpec.emitTimings);
     store.reset(jobs);
 
+    if (!opts.resumeFrom.empty()) {
+        std::ifstream in(opts.resumeFrom, std::ios::binary);
+        if (!in)
+            throw SweepError("(resume)",
+                             "cannot read " + opts.resumeFrom);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        adoptedJobs = store.adoptCompleted(buf.str());
+        completedJobs = adoptedJobs;
+    }
+
     BoundedExecutor executor(concurrency());
     executor.run(jobs.size(),
                  [&](size_t i) { runJob(i, store); });
@@ -56,9 +69,15 @@ SweepEngine::run()
 void
 SweepEngine::runJob(size_t index, ResultStore &store)
 {
+    // A non-Pending slot was adopted from a resume document — the
+    // whole point is to never re-run it.
+    if (store.jobs()[index].status != JobStatus::Pending)
+        return;
+
     SweepJobRecord rec;
     rec.index = index;
     rec.spec = store.jobs()[index].spec;
+    rec.specHash = store.jobs()[index].specHash;
 
     if (cancelToken.cancelled()) {
         rec.status = JobStatus::Skipped;
@@ -68,6 +87,17 @@ SweepEngine::runJob(size_t index, ResultStore &store)
             globalCircuitCache().clear();
         if (opts.coldProblemCache)
             globalProblemStore().clearMemory();
+
+        // The oversubscription fix: at concurrency N, each job's
+        // data-parallel sweeps get parallelThreads()/N pool lanes
+        // instead of all of them. Lane capping never changes chunk
+        // structure, so capped results stay bit-identical.
+        const unsigned width = concurrency();
+        const unsigned cap =
+            (opts.capJobWidth && width > 1)
+                ? std::max(1u, parallelThreads() / width)
+                : 0;
+        ParallelWidthCap laneCap(cap);
 
         const auto t0 = clock_type::now();
         const int maxAttempts = 1 + std::max(0, opts.retries);
@@ -99,8 +129,10 @@ SweepEngine::runJob(size_t index, ResultStore &store)
             rec.wallMillis > opts.jobTimeoutMs) {
             // Soft budget: the run finished, but past its allotment
             // — keep the result for inspection, drop it from the
-            // summaries.
+            // summaries. (The hard, kill-at-deadline variant lives
+            // in the sweepd process-per-job service.)
             rec.status = JobStatus::TimedOut;
+            rec.timeoutKind = TimeoutKind::Soft;
         }
     }
 

@@ -85,6 +85,24 @@ struct SweepEngineOptions
      */
     bool coldProblemCache = false;
 
+    /**
+     * Cap each job's data-parallel width to parallelThreads() /
+     * concurrency lanes (at least 1) while it runs, so N concurrent
+     * jobs split the machine instead of each sizing its sweeps to
+     * all of it (nested-parallelism oversubscription). Implemented
+     * as a ParallelWidthCap, so results are bit-identical either
+     * way; QCC_JOB_WIDTH overrides the derived cap per process.
+     */
+    bool capJobWidth = true;
+
+    /**
+     * Path of a previously written SWEEP_*.json to resume from:
+     * completed jobs whose recorded spec_hash still matches are
+     * adopted (never re-run), everything else runs normally. ""
+     * disables; a missing/unreadable file throws SweepError.
+     */
+    std::string resumeFrom;
+
     SweepProgressFn progress;
 };
 
@@ -112,6 +130,9 @@ class SweepEngine
 
     bool cancelled() const { return cancelToken.cancelled(); }
 
+    /** Jobs adopted from resumeFrom by the last run() (never re-run). */
+    size_t adopted() const { return adoptedJobs; }
+
   private:
     void runJob(size_t index, ResultStore &store);
 
@@ -120,6 +141,7 @@ class SweepEngine
     CancellationToken cancelToken;
     std::mutex progressMutex;
     size_t completedJobs = 0;
+    size_t adoptedJobs = 0;
 };
 
 } // namespace qcc

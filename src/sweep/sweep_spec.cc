@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/binio.hh"
+
 namespace qcc {
 
 namespace {
@@ -262,6 +264,21 @@ SweepSpec::fromFile(const std::string &path)
     std::ostringstream buf;
     buf << in.rdbuf();
     return fromJson(buf.str());
+}
+
+std::string
+sweepJobHash(const ExperimentSpec &spec)
+{
+    const std::string doc = spec.json();
+    // Two independently seeded FNV-1a passes: 128 bits of key, so a
+    // hash match really does mean "same spec" for resume purposes.
+    const uint64_t lo = fnv1a(doc.data(), doc.size());
+    const uint64_t hi =
+        fnv1a(doc.data(), doc.size(), 0x84222325cbf29ce4ull);
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  (unsigned long long)hi, (unsigned long long)lo);
+    return buf;
 }
 
 } // namespace qcc

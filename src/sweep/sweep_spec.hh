@@ -120,6 +120,16 @@ struct SweepSpec
     static SweepSpec fromFile(const std::string &path);
 };
 
+/**
+ * Content hash of one expanded job spec (32 hex chars): a double
+ * FNV-1a over the spec's canonical JSON document. This is the resume
+ * key — when a sweep is re-submitted, a recorded job is adopted only
+ * if the hash stored next to it still matches the re-expanded spec
+ * at the same index, so editing an axis invalidates exactly the jobs
+ * it changes.
+ */
+std::string sweepJobHash(const ExperimentSpec &spec);
+
 } // namespace qcc
 
 #endif // QCC_SWEEP_SWEEP_SPEC_HH

@@ -1,0 +1,159 @@
+#include "sweepd/protocol.hh"
+
+#include <cstdio>
+
+#include "common/json.hh"
+
+namespace qcc {
+namespace sweepd {
+
+namespace {
+
+/** Append `doc` (multi-line) with its trailing newlines trimmed. */
+void
+appendTrimmed(std::string &out, std::string doc)
+{
+    while (!doc.empty() && doc.back() == '\n')
+        doc.pop_back();
+    out += doc;
+}
+
+} // namespace
+
+std::string
+encodeJobRequest(const JobRequest &request)
+{
+    std::string out = "{\"spec\": ";
+    appendTrimmed(out, request.spec.json());
+    out += "}\n";
+    return out;
+}
+
+JobRequest
+decodeJobRequest(const std::string &payload)
+{
+    const JsonValue doc = JsonValue::parse(payload);
+    if (!doc.isObject())
+        throw SpecError("(request)", "expected a request object");
+    JobRequest request;
+    bool haveSpec = false;
+    for (const auto &[key, v] : doc.members) {
+        if (key == "spec") {
+            if (!v.isObject())
+                throw SpecError("(request)",
+                                "spec must be an object");
+            for (const auto &[field, fv] : v.members)
+                applySpecField(request.spec, field, fv);
+            haveSpec = true;
+        } else {
+            throw SpecError("(request)",
+                            "unknown request member: " + key);
+        }
+    }
+    if (!haveSpec)
+        throw SpecError("(request)", "request carries no spec");
+    return request;
+}
+
+std::string
+encodeDoneReply(const ExperimentResult &result,
+                const WorkerStoreStats &store)
+{
+    char buf[256];
+    std::string out = "{\"status\": \"done\",\n\"store\": ";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"compile_hits\": %llu, "
+                  "\"compile_misses\": %llu, "
+                  "\"circuit_disk_hits\": %llu, "
+                  "\"problem_builds\": %llu, "
+                  "\"problem_disk_hits\": %llu, "
+                  "\"problem_mem_hits\": %llu},\n",
+                  (unsigned long long)store.compileHits,
+                  (unsigned long long)store.compileMisses,
+                  (unsigned long long)store.circuitDiskHits,
+                  (unsigned long long)store.problemBuilds,
+                  (unsigned long long)store.problemDiskHits,
+                  (unsigned long long)store.problemMemHits);
+    out += buf;
+    out += "\"result\": ";
+    ExperimentResult::JsonOptions jo;
+    jo.timings = true; // the store drops them when configured to
+    jo.trace = false;
+    appendTrimmed(out, result.json(jo));
+    out += "}\n";
+    return out;
+}
+
+std::string
+encodeFailedReply(const std::string &error, bool fast_fail)
+{
+    std::string out = "{\"status\": \"failed\", \"fast_fail\": ";
+    out += fast_fail ? "true" : "false";
+    out += ", \"error\": \"" + jsonEscape(error) + "\"}\n";
+    return out;
+}
+
+bool
+decodeReply(const std::string &payload, WorkerReply &out)
+{
+    JsonValue doc;
+    try {
+        doc = JsonValue::parse(payload);
+    } catch (const JsonError &) {
+        return false;
+    }
+    if (!doc.isObject())
+        return false;
+    const JsonValue *status = doc.find("status");
+    if (!status || !status->isString())
+        return false;
+
+    WorkerReply reply;
+    if (status->text == "done") {
+        reply.done = true;
+        const JsonValue *result = doc.find("result");
+        if (!result ||
+            !ExperimentResult::fromJsonDom(*result, reply.result))
+            return false;
+        if (const JsonValue *store = doc.find("store")) {
+            if (!store->isObject())
+                return false;
+            uint64_t u = 0;
+            for (const auto &[key, v] : store->members) {
+                if (!v.asUint64(u))
+                    return false;
+                if (key == "compile_hits")
+                    reply.store.compileHits = u;
+                else if (key == "compile_misses")
+                    reply.store.compileMisses = u;
+                else if (key == "circuit_disk_hits")
+                    reply.store.circuitDiskHits = u;
+                else if (key == "problem_builds")
+                    reply.store.problemBuilds = u;
+                else if (key == "problem_disk_hits")
+                    reply.store.problemDiskHits = u;
+                else if (key == "problem_mem_hits")
+                    reply.store.problemMemHits = u;
+                else
+                    return false;
+            }
+        }
+    } else if (status->text == "failed") {
+        const JsonValue *error = doc.find("error");
+        if (!error || !error->isString())
+            return false;
+        reply.error = error->text;
+        if (const JsonValue *ff = doc.find("fast_fail")) {
+            if (!ff->isBool())
+                return false;
+            reply.fastFail = ff->boolean;
+        }
+    } else {
+        return false;
+    }
+    out = std::move(reply);
+    return true;
+}
+
+} // namespace sweepd
+} // namespace qcc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * sweepd wire protocol — the JSON messages framed over the
+ * parent/worker pipes (common/subprocess supplies the framing:
+ * magic + length + payload + FNV-1a checksum). One exchange per
+ * worker process:
+ *
+ *   parent -> worker (stdin):  {"spec": { ...ExperimentSpec... }}
+ *   worker -> parent (stdout): {"status": "done",
+ *                               "store": { ...cache counters... },
+ *                               "result": { ...ExperimentResult... }}
+ *                         or:  {"status": "failed",
+ *                               "fast_fail": true|false,
+ *                               "error": "..."}
+ *
+ * The result document is ExperimentResult::json() with the trace
+ * dropped and timings kept; the parent rehydrates it with
+ * ExperimentResult::fromJsonDom, so a record that travelled through
+ * a worker re-serializes byte-for-byte identically to one computed
+ * in-process (the concurrency-1-vs-N identity the ResultStore
+ * promises). `fast_fail` marks spec/registry errors — failures a
+ * retry cannot fix. `store` carries the worker's compile-cache
+ * counters so cross-process disk-tier sharing is observable (tests
+ * assert a warm-store worker reports zero compile misses).
+ */
+
+#ifndef QCC_SWEEPD_PROTOCOL_HH
+#define QCC_SWEEPD_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "api/experiment.hh"
+#include "api/spec.hh"
+
+namespace qcc {
+namespace sweepd {
+
+/** One job, parent -> worker. */
+struct JobRequest
+{
+    ExperimentSpec spec;
+};
+
+/**
+ * Worker-side cache counters reported with a done reply. A worker
+ * starts with cold in-process caches, so these directly measure the
+ * persistent tier's cross-process value: a worker running against a
+ * store another process already warmed reports zero compileMisses
+ * and zero problemBuilds — everything came off disk.
+ */
+struct WorkerStoreStats
+{
+    uint64_t compileHits = 0;     ///< circuit-cache hits (mem+disk)
+    uint64_t compileMisses = 0;   ///< fresh compiles
+    uint64_t circuitDiskHits = 0; ///< served by the persistent tier
+    uint64_t problemBuilds = 0;   ///< full integrals/HF builds
+    uint64_t problemDiskHits = 0; ///< problems read back from disk
+    uint64_t problemMemHits = 0;  ///< in-process memo hits
+};
+
+/** Decoded worker -> parent reply. */
+struct WorkerReply
+{
+    bool done = false;     ///< status == "done"
+    bool fastFail = false; ///< failed: spec/registry error, no retry
+    std::string error;     ///< failed: diagnostic
+    WorkerStoreStats store;
+    ExperimentResult result; ///< valid when done
+};
+
+/** Serialize a job request payload. */
+std::string encodeJobRequest(const JobRequest &request);
+
+/**
+ * Parse a job request payload; throws JsonError/SpecError (which
+ * the worker reports back as a fast-fail).
+ */
+JobRequest decodeJobRequest(const std::string &payload);
+
+/** Serialize a done reply (result without its trace). */
+std::string encodeDoneReply(const ExperimentResult &result,
+                            const WorkerStoreStats &store);
+
+/** Serialize a failed reply. */
+std::string encodeFailedReply(const std::string &error,
+                              bool fast_fail);
+
+/**
+ * Parse a worker reply; false when the payload is not a
+ * well-formed reply document (the parent records a failed job
+ * naming the corruption rather than crashing).
+ */
+bool decodeReply(const std::string &payload, WorkerReply &out);
+
+} // namespace sweepd
+} // namespace qcc
+
+#endif // QCC_SWEEPD_PROTOCOL_HH

@@ -1,0 +1,271 @@
+#include "sweepd/service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/subprocess.hh"
+#include "sweepd/protocol.hh"
+#include "sweepd/worker.hh"
+
+namespace qcc {
+namespace sweepd {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double
+millisSince(clock_type::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               clock_type::now() - t0)
+        .count();
+}
+
+/** Whole-file read; false when unreadable. */
+bool
+slurp(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+} // namespace
+
+SweepdService::SweepdService(SweepdOptions options)
+    : opts(std::move(options))
+{
+    // A worker killed mid-write must not take the service with it.
+    ignoreSigpipe();
+}
+
+unsigned
+SweepdService::concurrency(const SweepSpec &spec) const
+{
+    if (opts.concurrency)
+        return opts.concurrency;
+    if (spec.concurrency)
+        return spec.concurrency;
+    return parallelThreads();
+}
+
+ResultStore
+SweepdService::submit(const SweepSpec &spec, SweepdRunStats *stats)
+{
+    // Expansion throws on malformed axes — before any worker forks.
+    const std::vector<ExperimentSpec> jobs = spec.expand();
+    ResultStore store(spec.name, spec.emitTimings);
+    store.reset(jobs);
+
+    SweepdRunStats st;
+    st.jobs = jobs.size();
+
+    if (opts.resume) {
+        const std::string priorPath =
+            !opts.resumeDoc.empty()
+                ? opts.resumeDoc
+                : qccJsonPath("SWEEP_" + spec.name + ".json");
+        std::string prior;
+        if (!priorPath.empty() && slurp(priorPath, prior)) {
+            try {
+                st.resumed = store.adoptCompleted(prior);
+            } catch (const JsonError &e) {
+                // A truncated aggregate (service killed mid-write)
+                // resumes nothing; the sweep just runs in full.
+                warn("sweepd: ignoring unparseable resume document " +
+                     priorPath + ": " + e.what());
+            }
+            if (st.resumed)
+                inform("sweepd: resumed " +
+                       std::to_string(st.resumed) + " of " +
+                       std::to_string(jobs.size()) +
+                       " jobs from " + priorPath);
+        }
+    }
+    completedJobs = st.resumed;
+
+    const unsigned width =
+        std::max(1u, std::min<unsigned>(concurrency(spec),
+                                        unsigned(std::max<size_t>(
+                                            jobs.size(), 1))));
+    const double timeoutMs = opts.jobTimeoutMs >= 0.0
+                                 ? opts.jobTimeoutMs
+                                 : spec.jobTimeoutMs;
+    const int retries =
+        opts.retries >= 0 ? opts.retries : spec.retries;
+    const int maxAttempts = 1 + std::max(0, retries);
+    // Split the machine across concurrent workers: each gets
+    // threads/width pool lanes via QCC_JOB_WIDTH (chunking — and so
+    // results — never depends on it; see common/parallel).
+    const unsigned jobWidth =
+        opts.capJobWidth
+            ? std::max(1u, parallelThreads() / width)
+            : 0;
+
+    BoundedExecutor executor(width);
+    executor.run(jobs.size(), [&](size_t i) {
+        runJob(i, store, timeoutMs, maxAttempts, jobWidth);
+    });
+
+    st.ran = st.jobs - st.resumed;
+    st.writtenPath = store.write();
+    if (stats)
+        *stats = st;
+    return store;
+}
+
+void
+SweepdService::runJob(size_t index, ResultStore &store,
+                      double timeout_ms, int max_attempts,
+                      unsigned job_width)
+{
+    // Adopted from the resume document — never re-run.
+    if (store.jobs()[index].status != JobStatus::Pending)
+        return;
+
+    SweepJobRecord rec;
+    rec.index = index;
+    rec.spec = store.jobs()[index].spec;
+    rec.specHash = store.jobs()[index].specHash;
+    store.markRunning(index);
+
+    std::vector<std::pair<std::string, std::string>> env;
+    if (job_width > 0)
+        env.emplace_back("QCC_JOB_WIDTH",
+                         std::to_string(job_width));
+
+    const std::string request =
+        encodeJobRequest(JobRequest{rec.spec});
+
+    const auto t0 = clock_type::now();
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        rec.attempts = attempt;
+
+        ChildProcess child = spawnChildProcess(
+            {opts.workerPath, std::string(kWorkerFlag)}, env);
+        if (child.pid < 0) {
+            rec.status = JobStatus::Failed;
+            rec.error = "cannot spawn worker: " + opts.workerPath;
+            break; // fork/pipe failure is not per-job retryable
+        }
+
+        const bool wrote = writeFrame(child.stdinFd, request);
+        closeFd(child.stdinFd);
+        if (!wrote) {
+            killProcess(child.pid);
+            const ExitStatus es = reapProcess(child.pid);
+            closeFd(child.stdoutFd);
+            rec.status = JobStatus::Failed;
+            rec.error = "worker rejected the job request (" +
+                        es.describe() + ")";
+            continue; // the worker died at startup; retry
+        }
+
+        std::string payload;
+        const FrameStatus fs =
+            readFrame(child.stdoutFd, payload, timeout_ms);
+
+        if (fs == FrameStatus::Timeout) {
+            // The hard deadline: kill the worker and reap the
+            // corpse. No retry — a job over its budget once is
+            // over it again.
+            killProcess(child.pid);
+            const ExitStatus es = reapProcess(child.pid);
+            closeFd(child.stdoutFd);
+            char buf[128];
+            std::snprintf(buf, sizeof(buf),
+                          "hard timeout after %.6g ms; worker "
+                          "killed (%s)",
+                          timeout_ms, es.describe().c_str());
+            rec.status = JobStatus::TimedOut;
+            rec.timeoutKind = TimeoutKind::Hard;
+            rec.error = buf;
+            break;
+        }
+
+        closeFd(child.stdoutFd);
+        const ExitStatus es = reapProcess(child.pid);
+
+        if (fs == FrameStatus::Ok) {
+            WorkerReply reply;
+            if (!decodeReply(payload, reply)) {
+                rec.status = JobStatus::Failed;
+                rec.error = "unparseable worker reply (" +
+                            es.describe() + ")";
+                continue;
+            }
+            if (reply.done) {
+                rec.status = JobStatus::Done;
+                rec.timeoutKind = TimeoutKind::None;
+                rec.result = std::move(reply.result);
+                rec.error.clear();
+                break;
+            }
+            rec.status = JobStatus::Failed;
+            rec.error = reply.error;
+            if (reply.fastFail)
+                break; // a typo'd key cannot succeed on retry
+            continue;
+        }
+
+        // Eof/Corrupt/IoError: the worker died before delivering a
+        // reply — the crash-isolation path. Record (or retry) and
+        // keep the service alive.
+        rec.status = JobStatus::Failed;
+        rec.error = std::string("worker died before replying (") +
+                    frameStatusName(fs) + ", " + es.describe() +
+                    ")";
+    }
+    rec.wallMillis = millisSince(t0);
+
+    landRecord(std::move(rec), store);
+}
+
+void
+SweepdService::landRecord(SweepJobRecord rec, ResultStore &store)
+{
+    const size_t index = rec.index;
+    // Record + write-through + progress under one lock: callbacks
+    // never interleave, and the on-disk aggregate always reflects a
+    // consistent prefix of completed work (the resume source).
+    std::lock_guard<std::mutex> lock(progressMutex);
+    store.record(std::move(rec));
+    ++completedJobs;
+    if (opts.writeThrough)
+        store.write();
+    if (opts.progress) {
+        SweepProgress p;
+        p.completed = completedJobs;
+        p.total = store.size();
+        p.last = &store.jobs()[index];
+        opts.progress(p);
+    }
+}
+
+std::string
+selfExecutablePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0 ? argv0 : "";
+}
+
+} // namespace sweepd
+} // namespace qcc

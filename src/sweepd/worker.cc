@@ -1,0 +1,95 @@
+#include "sweepd/worker.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "api/registries.hh"
+#include "common/subprocess.hh"
+#include "compiler/cache.hh"
+#include "store/store.hh"
+#include "sweepd/protocol.hh"
+
+namespace qcc {
+namespace sweepd {
+
+const char *const kWorkerFlag = "--worker";
+
+namespace {
+
+/** True when `name` is set and parses to exactly `seed`. */
+bool
+seedHookMatches(const char *name, uint64_t seed)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    return end && *end == '\0' && v == seed;
+}
+
+} // namespace
+
+int
+workerMain()
+{
+    ignoreSigpipe();
+
+    // Keep the frame channel private: save the real stdout, then
+    // point fd 1 at stderr so stray prints can't corrupt frames.
+    const int replyFd = ::dup(STDOUT_FILENO);
+    if (replyFd < 0)
+        return 3;
+    ::dup2(STDERR_FILENO, STDOUT_FILENO);
+
+    std::string payload;
+    if (readFrame(STDIN_FILENO, payload, /*timeout_ms=*/0.0) !=
+        FrameStatus::Ok)
+        return 3;
+
+    std::string reply;
+    try {
+        const JobRequest request = decodeJobRequest(payload);
+
+        // Fault-injection hooks for the crash/timeout tests: keyed
+        // on the job's seed so one spec in a sweep misbehaves while
+        // its siblings run normally.
+        if (seedHookMatches("QCC_SWEEPD_TEST_CRASH_SEED",
+                            request.spec.seed))
+            std::abort();
+        if (seedHookMatches("QCC_SWEEPD_TEST_SLEEP_SEED",
+                            request.spec.seed))
+            std::this_thread::sleep_for(std::chrono::seconds(30));
+
+        Experiment experiment(request.spec);
+        const ExperimentResult result = experiment.run();
+
+        WorkerStoreStats stats;
+        const CacheStats cs = globalCircuitCache().stats();
+        const StoreStats ss = storeStats();
+        stats.compileHits = cs.hits;
+        stats.compileMisses = cs.misses;
+        stats.circuitDiskHits = ss.circuitDiskHits;
+        stats.problemBuilds = ss.problemBuilds;
+        stats.problemDiskHits = ss.problemDiskHits;
+        stats.problemMemHits = ss.problemMemHits;
+        reply = encodeDoneReply(result, stats);
+    } catch (const SpecError &e) {
+        reply = encodeFailedReply(e.what(), /*fast_fail=*/true);
+    } catch (const RegistryError &e) {
+        reply = encodeFailedReply(e.what(), /*fast_fail=*/true);
+    } catch (const JsonError &e) {
+        reply = encodeFailedReply(e.what(), /*fast_fail=*/true);
+    } catch (const std::exception &e) {
+        reply = encodeFailedReply(e.what(), /*fast_fail=*/false);
+    }
+
+    return writeFrame(replyFd, reply) ? 0 : 3;
+}
+
+} // namespace sweepd
+} // namespace qcc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * common/json unit tests — the \uXXXX escape paths in particular.
+ * Astral-plane characters travel through JSON as UTF-16 surrogate
+ * pairs; the parser must decode a pair to one 4-byte UTF-8 sequence
+ * and reject unpaired surrogates with a JsonError naming the offset
+ * (silently emitting them used to corrupt round-tripped documents).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+using namespace qcc;
+
+namespace {
+
+std::string
+parsedString(const std::string &doc)
+{
+    const JsonValue v = JsonValue::parse(doc);
+    EXPECT_TRUE(v.isString());
+    return v.text;
+}
+
+} // namespace
+
+TEST(Json, BmpUnicodeEscapesDecodeToUtf8)
+{
+    EXPECT_EQ(parsedString(R"("A")"), "A");
+    EXPECT_EQ(parsedString(R"("\u00e9")"), "\xC3\xA9");   // é
+    EXPECT_EQ(parsedString(R"("\u20ac")"), "\xE2\x82\xAC"); // €
+}
+
+TEST(Json, SurrogatePairDecodesToFourByteUtf8)
+{
+    // U+1D306 TETRAGRAM FOR CENTRE.
+    EXPECT_EQ(parsedString(R"("\ud834\udf06")"),
+              "\xF0\x9D\x8C\x86");
+    // U+10400 DESERET CAPITAL LETTER LONG I — nonzero payload in
+    // both halves.
+    EXPECT_EQ(parsedString(R"("\ud801\udc00")"),
+              "\xF0\x90\x90\x80");
+    // Uppercase hex digits work too.
+    EXPECT_EQ(parsedString(R"("\uD834\uDF06")"),
+              "\xF0\x9D\x8C\x86");
+}
+
+TEST(Json, SurrogatePairSurvivesDumpRoundTrip)
+{
+    const JsonValue v =
+        JsonValue::parse(R"({"s": "\ud834\udf06"})");
+    const JsonValue back = JsonValue::parse(v.dump());
+    const JsonValue *s = back.find("s");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->text, "\xF0\x9D\x8C\x86");
+}
+
+TEST(Json, LoneHighSurrogateIsAnErrorNamingTheOffset)
+{
+    try {
+        JsonValue::parse(R"("ab\ud834xy")");
+        FAIL() << "lone high surrogate accepted";
+    } catch (const JsonError &e) {
+        EXPECT_EQ(e.offset(), 3u); // the backslash of the escape
+    }
+}
+
+TEST(Json, LoneLowSurrogateIsAnErrorNamingTheOffset)
+{
+    try {
+        JsonValue::parse(R"("\udc00")");
+        FAIL() << "lone low surrogate accepted";
+    } catch (const JsonError &e) {
+        EXPECT_EQ(e.offset(), 1u);
+    }
+}
+
+TEST(Json, HighSurrogatePairedWithNonLowSurrogateIsAnError)
+{
+    // A is a valid escape but not a low surrogate.
+    EXPECT_THROW(JsonValue::parse(R"("\ud834A")"), JsonError);
+    // Two high surrogates in a row.
+    EXPECT_THROW(JsonValue::parse(R"("\ud834\ud834")"), JsonError);
+}
+
+TEST(Json, TruncatedSurrogatePairIsAnError)
+{
+    EXPECT_THROW(JsonValue::parse(R"("\ud834")"), JsonError);
+    EXPECT_THROW(JsonValue::parse(R"("\ud834\u")"), JsonError);
+    EXPECT_THROW(JsonValue::parse(R"("\ud834\udf0")"), JsonError);
+}
+
+TEST(Json, OrdinaryEscapesStillWork)
+{
+    EXPECT_EQ(parsedString(R"("a\nb\tc\"d\\e\/f")"),
+              "a\nb\tc\"d\\e/f");
+    EXPECT_THROW(JsonValue::parse(R"("\q")"), JsonError);
+}

@@ -5,11 +5,16 @@
  * engine determinism (byte-identical SWEEP json at concurrency 1
  * and N under one seed), failure isolation (a bad job is recorded,
  * the sweep continues), the soft per-job timeout, cooperative
- * mid-sweep cancellation, and cross-job sharing of the global
- * compile cache.
+ * mid-sweep cancellation, cross-job sharing of the global compile
+ * cache, and resume (spec_hash-keyed adoption of completed jobs
+ * from a prior SWEEP document).
  */
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include <unistd.h>
 
 #include "api/experiment.hh"
 #include "common/logging.hh"
@@ -242,6 +247,64 @@ TEST(SweepEngine, SoftTimeoutDemotesOverBudgetJobs)
     // ...but they are out of the summaries.
     EXPECT_NE(store.json().find("\"best_energy\": []"),
               std::string::npos);
+    // The record and the document both name the kind: this is the
+    // in-process engine's soft semantics (the job DID complete),
+    // not sweepd's hard kill.
+    EXPECT_EQ(store.jobs()[0].timeoutKind, TimeoutKind::Soft);
+    EXPECT_NE(store.json().find("\"timeout_kind\": \"soft\""),
+              std::string::npos);
+}
+
+TEST(SweepSpec, JobHashIsStableAndSpecSensitive)
+{
+    const std::vector<ExperimentSpec> jobs = smallSweep().expand();
+    // Deterministic: the same expanded spec always hashes the same.
+    EXPECT_EQ(sweepJobHash(jobs[0]), sweepJobHash(jobs[0]));
+    EXPECT_EQ(sweepJobHash(jobs[0]).size(), 32u);
+    // Sensitive: distinct jobs get distinct resume keys.
+    EXPECT_NE(sweepJobHash(jobs[0]), sweepJobHash(jobs[1]));
+    ExperimentSpec tweaked = jobs[0];
+    tweaked.seed += 1;
+    EXPECT_NE(sweepJobHash(jobs[0]), sweepJobHash(tweaked));
+}
+
+TEST(SweepEngine, ResumeAdoptsCompletedJobsAndReproducesBytes)
+{
+    // A full run's document is the resume source.
+    ResultStore first = SweepEngine(smallSweep()).run();
+    EXPECT_EQ(first.countWithStatus(JobStatus::Done), 4u);
+    const std::string doc = first.json();
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("qcc_resume_" + std::to_string(::getpid()) + ".json"))
+            .string();
+    ASSERT_FALSE(first.writeTo(path).empty());
+
+    // Resuming from it re-runs nothing and reproduces the bytes.
+    SweepEngineOptions opts;
+    opts.resumeFrom = path;
+    SweepEngine engine(smallSweep(), opts);
+    ResultStore second = engine.run();
+    EXPECT_EQ(engine.adopted(), 4u);
+    EXPECT_EQ(second.countWithStatus(JobStatus::Done), 4u);
+    EXPECT_EQ(second.json(), doc);
+
+    // A different sweep adopts nothing from it: every job's
+    // spec_hash differs, so the stale records are ignored.
+    SweepSpec other = smallSweep();
+    other.base.shots = 2048;
+    SweepEngine fresh(other, opts);
+    ResultStore third = fresh.run();
+    EXPECT_EQ(fresh.adopted(), 0u);
+    EXPECT_EQ(third.countWithStatus(JobStatus::Done), 4u);
+
+    std::filesystem::remove(path);
+
+    // A missing resume file is a hard error, not a silent cold run.
+    SweepEngineOptions missing;
+    missing.resumeFrom = path;
+    EXPECT_THROW(SweepEngine(smallSweep(), missing).run(),
+                 SweepError);
 }
 
 TEST(SweepEngine, CancellationSkipsUnclaimedJobs)
