@@ -7,7 +7,9 @@
  * concurrent with the shared caches both with the per-job width cap
  * (capJobWidth: N jobs split parallelThreads() between them) and
  * without it (every job sizes its sweeps to the whole machine —
- * the nested-parallelism oversubscription the cap fixes), serial
+ * the nested-parallelism oversubscription the cap fixes), the same
+ * sweep forced through kind=estimate (no simulator, costing only),
+ * serial
  * against a cold persistent store (fresh directory, so this run
  * pays the write-through on top of the shared-cache path), serial
  * against the warm persistent store with the in-memory caches
@@ -239,6 +241,19 @@ main()
              uncapped);
     addRow("concurrent_uncapped", uncapped, &cold, double(width));
 
+    // The same sweep costed instead of run: every job forced to
+    // kind=estimate skips the simulator and optimizer entirely and
+    // pays only chemistry + synthesis + compile, which the shared
+    // caches then collapse across jobs. This row is the floor the
+    // --estimate qcc_sweep mode promises ("costing is effectively
+    // free" next to a real run of the same spec).
+    SweepSpec estSpec = spec;
+    estSpec.name = "bench_sweep_estimate";
+    estSpec.base.kind = "estimate";
+    RunOutcome est = runStudy(estSpec, 1, false);
+    printRow("serial, estimate kind", est);
+    addRow("estimate_kind", est, &cold, 0);
+
     // Persistent-store rows: first against an empty directory (pays
     // serialization on every fresh compile/build), then against the
     // directory that run just filled, with the in-memory caches
@@ -282,6 +297,8 @@ main()
     std::printf("warm disk store vs serial cold:    %.2fx "
                 "(acceptance: >= 2x)\n",
                 speedup(cold, warmDisk));
+    std::printf("estimate kind vs serial cold:      %.2fx\n",
+                speedup(cold, est));
     std::printf("expected shape: the shared rows replace all but "
                 "one compile and chemistry build per program with "
                 "cache hits; the warm-disk row gets the same "

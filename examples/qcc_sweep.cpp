@@ -12,6 +12,11 @@
  *
  *   qcc_sweep specs/lih_curve.json
  *   qcc_sweep specs/table1_slice.json --concurrency 4
+ *   qcc_sweep specs/table1_full.json --estimate
+ *
+ * --estimate re-runs any spec in resource-estimation mode (kind
+ * "estimate" forced onto every job): no simulator state is ever
+ * allocated, so a whole Table I costing finishes in milliseconds.
  */
 
 #include <cstdio>
@@ -40,6 +45,8 @@ usage(const char *argv0)
         "  --store-dir DIR   persistent store root (overrides "
         "QCC_STORE_DIR)\n"
         "  --no-store        disable the persistent store\n"
+        "  --estimate        force kind \"estimate\" onto every job "
+        "(simulation-free costing)\n"
         "  --list            print the expanded job list and exit\n"
         "  --quiet           suppress per-job progress lines\n"
         "\nThe aggregate is written as SWEEP_<name>.json under the\n"
@@ -61,6 +68,7 @@ main(int argc, char **argv)
     std::string specPath;
     unsigned concurrency = 0;
     bool coldCache = false, listOnly = false, quiet = false;
+    bool forceEstimate = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--concurrency" && i + 1 < argc) {
@@ -71,6 +79,8 @@ main(int argc, char **argv)
             setStoreDir(argv[++i]);
         } else if (arg == "--no-store") {
             setStoreEnabled(false);
+        } else if (arg == "--estimate") {
+            forceEstimate = true;
         } else if (arg == "--list") {
             listOnly = true;
         } else if (arg == "--quiet") {
@@ -90,6 +100,15 @@ main(int argc, char **argv)
     } catch (const std::exception &e) {
         std::fprintf(stderr, "qcc_sweep: %s\n", e.what());
         return 1;
+    }
+    if (forceEstimate) {
+        // Re-cost the same study without touching the spec file; the
+        // suffixed name keeps the aggregate from clobbering a real
+        // run's SWEEP_<name>.json.
+        spec.name += "_estimate";
+        spec.base.kind = "estimate";
+        for (ExperimentSpec &job : spec.explicitJobs)
+            job.kind = "estimate";
     }
 
     std::vector<ExperimentSpec> jobs;
@@ -156,9 +175,11 @@ main(int argc, char **argv)
                 store.countWithStatus(JobStatus::TimedOut),
                 store.countWithStatus(JobStatus::Skipped));
 
+    // One table per kind, each with the columns that matter for it.
     bool header = false;
     for (const auto &rec : store.jobs()) {
-        if (rec.status != JobStatus::Done)
+        if (rec.status != JobStatus::Done ||
+            rec.effectiveSpec().kind != "vqe")
             continue;
         if (!header) {
             std::printf("\n%-4s %-5s %-8s %14s %14s %14s\n", "job",
@@ -173,6 +194,50 @@ main(int argc, char **argv)
             std::printf("%14.6f\n", rec.result.fci);
         else
             std::printf("%14s\n", "-");
+    }
+
+    header = false;
+    for (const auto &rec : store.jobs()) {
+        if (rec.status != JobStatus::Done ||
+            rec.effectiveSpec().kind != "evolve")
+            continue;
+        const TimeEvolutionResult &ev = rec.result.evolution;
+        if (!header) {
+            std::printf("\n%-4s %-5s %8s %6s %6s %14s %12s\n",
+                        "job", "mol", "t(Ha^-1)", "steps", "order",
+                        "<H>(t)", "fidelity");
+            header = true;
+        }
+        std::printf("%-4zu %-5s %8.3f %6d %6d %14.6f ", rec.index,
+                    rec.spec.molecule.c_str(), ev.time, ev.steps,
+                    ev.order, ev.finalEnergy);
+        if (ev.haveFidelity)
+            std::printf("%12.9f\n", ev.fidelity);
+        else
+            std::printf("%12s\n", "-");
+    }
+
+    header = false;
+    for (const auto &rec : store.jobs()) {
+        if (rec.status != JobStatus::Done ||
+            rec.effectiveSpec().kind != "estimate")
+            continue;
+        const EstimateResult &es = rec.result.estimate;
+        if (!header) {
+            std::printf("\n%-4s %-5s %-9s %6s %8s %8s %8s %7s "
+                        "%12s\n",
+                        "job", "mol", "grouping", "qubits",
+                        "settings", "gates", "cnots", "depth",
+                        "shot budget");
+            header = true;
+        }
+        std::printf("%-4zu %-5s %-9s %6u %8zu %8zu %8zu %7zu "
+                    "%12llu\n",
+                    rec.index, rec.spec.molecule.c_str(),
+                    rec.effectiveSpec().grouping.c_str(), es.qubits,
+                    es.measurementSettings, es.gates, es.cnots,
+                    es.depth,
+                    (unsigned long long)es.shotBudget);
     }
 
     std::string path = store.write();

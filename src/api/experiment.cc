@@ -8,8 +8,10 @@
 #include "ansatz/compression.hh"
 #include "common/logging.hh"
 #include "sim/lanczos.hh"
+#include "sim/sampling.hh"
 #include "store/problem_store.hh"
 #include "vqe/estimation.hh"
+#include "vqe/vqe.hh"
 
 namespace qcc {
 
@@ -103,6 +105,7 @@ Experiment::Experiment(ExperimentSpec s) : resolved(std::move(s))
 {
     // Resolve every key now so a bad spec fails at construction with
     // the valid choices, not mid-run.
+    experimentKindRegistry().get(resolved.kind);
     catalogEntry(resolved.molecule);
     estimationRegistry().get(resolved.mode);
     optimizerRegistry().get(resolved.optimizer);
@@ -136,6 +139,35 @@ Experiment::Experiment(ExperimentSpec s) : resolved(std::move(s))
     } else if (!resolved.architecture.empty()) {
         makeDevice(resolved.architecture); // validate anyway
     }
+    if (resolved.evolveOrder != 1 && resolved.evolveOrder != 2)
+        throw SpecError("evolve_order",
+                        "product-formula order must be 1 or 2");
+    if (resolved.evolveSteps < 0)
+        throw SpecError("evolve_steps",
+                        "step count cannot be negative");
+    if (resolved.evolveTime < 0.0)
+        throw SpecError("evolve_time",
+                        "evolution time cannot be negative");
+    if (resolved.kind == "evolve") {
+        if (resolved.evolveSteps < 1)
+            throw SpecError("evolve_steps",
+                            "kind \"evolve\" needs at least one "
+                            "Trotter step");
+        if (!(resolved.evolveTime > 0.0))
+            throw SpecError("evolve_time",
+                            "kind \"evolve\" needs a positive "
+                            "evolution time");
+        if (resolved.mode != "ideal")
+            throw SpecError("mode",
+                            "time evolution runs on the ideal "
+                            "statevector; use mode \"ideal\"");
+    } else if (resolved.kind == "vqe") {
+        // A typo'd kind must not silently drop the evolve fields.
+        if (resolved.evolveSteps != 0 || resolved.evolveTime != 0.0)
+            throw SpecError("evolve_steps",
+                            "evolve_* fields apply to kinds "
+                            "\"evolve\" and \"estimate\" only");
+    }
 }
 
 ExperimentBuilder
@@ -144,8 +176,51 @@ Experiment::builder()
     return ExperimentBuilder();
 }
 
+namespace {
+
+/**
+ * Optional compile phase shared by every kind: when the spec names
+ * a pipeline preset, compile `program` with `params` bound and fill
+ * the CompiledStats block.
+ */
+void
+compilePhase(const ExperimentSpec &resolved, const Ansatz &program,
+             const std::vector<double> &params,
+             ExperimentResult &out)
+{
+    if (resolved.pipeline.empty())
+        return;
+    const auto tCompile = clock_type::now();
+    const PipelineOptions po =
+        pipelinePresetRegistry().get(resolved.pipeline)();
+    CompileResult compiled;
+    if (po.flow == PipelineOptions::Flow::ChainOnly) {
+        compiled = CompilerPipeline(po).compile(program, params);
+    } else {
+        Device dev = makeDevice(resolved.architecture);
+        if (dev.tree)
+            compiled = CompilerPipeline(*dev.tree, po)
+                           .compile(program, params);
+        else
+            compiled = CompilerPipeline(*dev.graph, po)
+                           .compile(program, params);
+    }
+    out.compiled.present = true;
+    out.compiled.pipeline = resolved.pipeline;
+    out.compiled.device = resolved.architecture;
+    out.compiled.gates = compiled.circuit.totalGates();
+    out.compiled.cnots = compiled.circuit.cnotCount();
+    out.compiled.depth = compiled.circuit.depth();
+    out.compiled.swaps = compiled.swapCount;
+    out.compiled.overheadCnots = compiled.overheadCnots();
+    out.compiled.millis = compiled.report.totalMillis;
+    out.compiled.cacheHit = compiled.report.cacheHit;
+    out.compileMillis = millisSince(tCompile);
+}
+
+/** Kind "vqe": the original ground-state flow. */
 ExperimentResult
-Experiment::run() const
+runVqeExperiment(const ExperimentSpec &resolved)
 {
     const auto t0 = clock_type::now();
     ExperimentResult out;
@@ -208,41 +283,204 @@ Experiment::run() const
     out.shots = driver.shotsSpent();
     out.vqeMillis = millisSince(tVqe);
 
-    // ---- optional compile phase ---------------------------------
-    if (!resolved.pipeline.empty()) {
-        const auto tCompile = clock_type::now();
-        const PipelineOptions po =
-            pipelinePresetRegistry().get(resolved.pipeline)();
-        CompileResult compiled;
-        if (po.flow == PipelineOptions::Flow::ChainOnly) {
-            compiled = CompilerPipeline(po).compile(ansatz,
-                                                    out.vqe.params);
-        } else {
-            Device dev = makeDevice(resolved.architecture);
-            if (dev.tree)
-                compiled = CompilerPipeline(*dev.tree, po)
-                               .compile(ansatz, out.vqe.params);
-            else
-                compiled = CompilerPipeline(*dev.graph, po)
-                               .compile(ansatz, out.vqe.params);
-        }
-        out.compiled.present = true;
-        out.compiled.pipeline = resolved.pipeline;
-        out.compiled.device = resolved.architecture;
-        out.compiled.gates = compiled.circuit.totalGates();
-        out.compiled.cnots = compiled.circuit.cnotCount();
-        out.compiled.depth = compiled.circuit.depth();
-        out.compiled.swaps = compiled.swapCount;
-        out.compiled.overheadCnots = compiled.overheadCnots();
-        out.compiled.millis = compiled.report.totalMillis;
-        out.compiled.cacheHit = compiled.report.cacheHit;
-        out.compileMillis = millisSince(tCompile);
-    }
+    compilePhase(resolved, ansatz, out.vqe.params, out);
 
     out.hamiltonian = std::move(prob.hamiltonian);
     out.ansatz = std::move(ansatz);
     out.totalMillis = millisSince(t0);
     return out;
+}
+
+/** Kind "evolve": Trotterized exp(-iHt) from the HF state. */
+ExperimentResult
+runEvolveExperiment(const ExperimentSpec &resolved)
+{
+    const auto t0 = clock_type::now();
+    ExperimentResult out;
+    out.spec = resolved;
+
+    // ---- chemistry + Trotter program ----------------------------
+    const BenchmarkMolecule &entry = catalogEntry(resolved.molecule);
+    const double bond =
+        resolved.bond > 0.0 ? resolved.bond : entry.equilibriumBond;
+    out.spec.bond = bond;
+    MolecularProblem prob =
+        globalProblemStore().get(entry, bond, resolved.basisNg);
+    const GroupingFn &grouping =
+        groupingRegistry().get(resolved.grouping);
+    const uint64_t hfMask =
+        hartreeFockMask(prob.nSpatial, prob.nElectrons);
+    TrotterBuild tb = buildTrotterAnsatz(
+        prob.hamiltonian, hfMask, resolved.evolveSteps,
+        resolved.evolveOrder, grouping);
+
+    out.nQubits = prob.nQubits;
+    out.nParams = 1; // dt
+    out.fullParams = 1;
+    out.hamiltonianTerms = prob.hamiltonian.numTerms();
+    out.measurementSettings = grouping(prob.hamiltonian).size();
+    out.hartreeFock = prob.hartreeFockEnergy;
+    out.buildMillis = millisSince(t0);
+
+    // ---- evolve on the ideal statevector ------------------------
+    const auto tRun = clock_type::now();
+    const double dt = resolved.evolveTime / resolved.evolveSteps;
+    const Statevector psi = prepareAnsatzState(tb.ansatz, {dt});
+
+    TimeEvolutionResult &ev = out.evolution;
+    ev.present = true;
+    ev.time = resolved.evolveTime;
+    ev.steps = tb.steps;
+    ev.order = tb.order;
+    ev.termsPerStep = tb.termsPerStep;
+    ev.identityTerms = tb.identityTerms;
+    ev.initialEnergy = Statevector(prob.nQubits, hfMask)
+                           .expectation(prob.hamiltonian);
+    ev.finalEnergy = psi.expectation(prob.hamiltonian);
+    out.vqe.energy = ev.finalEnergy; // the headline number
+    out.vqe.params = {dt};
+    if (resolved.reference &&
+        prob.nQubits <= kMaxExactEvolveQubits) {
+        const Statevector exact = exactEvolvedState(
+            prob.hamiltonian, prob.nQubits, hfMask,
+            resolved.evolveTime);
+        ev.fidelity = stateFidelity(exact, psi);
+        ev.haveFidelity = true;
+    }
+    // Per-step chain-plan cost: one step, no HF prep, shared
+    // structure cache.
+    {
+        const TrotterBuild one = buildTrotterAnsatz(
+            prob.hamiltonian, hfMask, 1, resolved.evolveOrder,
+            grouping);
+        const Circuit step =
+            cachedChainCircuit(one.ansatz, {dt}, false);
+        ev.stepGates = step.totalGates();
+        ev.stepCnots = step.cnotCount();
+        ev.stepDepth = step.depth();
+    }
+    out.vqeMillis = millisSince(tRun);
+
+    compilePhase(resolved, tb.ansatz, {dt}, out);
+
+    out.hamiltonian = std::move(prob.hamiltonian);
+    out.ansatz = std::move(tb.ansatz);
+    out.totalMillis = millisSince(t0);
+    return out;
+}
+
+/** Kind "estimate": resource counts only, no simulator state. */
+ExperimentResult
+runEstimateExperiment(const ExperimentSpec &resolved)
+{
+    const auto t0 = clock_type::now();
+    ExperimentResult out;
+    out.spec = resolved;
+
+    // ---- chemistry + program selection --------------------------
+    const BenchmarkMolecule &entry = catalogEntry(resolved.molecule);
+    const double bond =
+        resolved.bond > 0.0 ? resolved.bond : entry.equilibriumBond;
+    out.spec.bond = bond;
+    MolecularProblem prob =
+        globalProblemStore().get(entry, bond, resolved.basisNg);
+    const GroupingFn &grouping =
+        groupingRegistry().get(resolved.grouping);
+
+    // evolve_steps >= 1 costs the Trotter program, otherwise the
+    // (compressed) UCCSD ansatz.
+    Ansatz program;
+    if (resolved.evolveSteps >= 1) {
+        program = buildTrotterAnsatz(
+                      prob.hamiltonian,
+                      hartreeFockMask(prob.nSpatial,
+                                      prob.nElectrons),
+                      resolved.evolveSteps, resolved.evolveOrder,
+                      grouping)
+                      .ansatz;
+        out.fullParams = 1;
+    } else {
+        Ansatz full = buildUccsd(prob.nSpatial, prob.nElectrons);
+        out.fullParams = full.nParams;
+        if (resolved.compression < 1.0)
+            program = compressAnsatz(full, prob.hamiltonian,
+                                     resolved.compression)
+                          .ansatz;
+        else
+            program = std::move(full);
+    }
+
+    out.nQubits = prob.nQubits;
+    out.nParams = program.nParams;
+    out.hamiltonianTerms = prob.hamiltonian.numTerms();
+    out.hartreeFock = prob.hartreeFockEnergy;
+    // Simulation-free by contract: no Lanczos reference, no VQE —
+    // the headline energy is the HF mean field.
+    out.vqe.energy = prob.hartreeFockEnergy;
+    out.buildMillis = millisSince(t0);
+
+    // ---- count, never simulate ----------------------------------
+    const auto tEst = clock_type::now();
+    EstimateRequest req;
+    req.hamiltonian = &prob.hamiltonian;
+    req.program = &program;
+    req.grouping = grouping;
+    req.shotsPerEstimate =
+        resolved.shots > 0 ? resolved.shots : SamplingOptions{}.shots;
+    req.iterations = resolved.maxIter;
+    if (!resolved.pipeline.empty()) {
+        const PipelineOptions po =
+            pipelinePresetRegistry().get(resolved.pipeline)();
+        if (po.flow == PipelineOptions::Flow::ChainOnly) {
+            const CompilerPipeline pipe(po);
+            req.pipeline = &pipe;
+            out.estimate = estimateResources(req);
+        } else {
+            // The pipeline borrows the device views: keep `dev`
+            // alive across the compile.
+            const Device dev = makeDevice(resolved.architecture);
+            if (dev.tree) {
+                const CompilerPipeline pipe(*dev.tree, po);
+                req.pipeline = &pipe;
+                out.estimate = estimateResources(req);
+            } else {
+                const CompilerPipeline pipe(*dev.graph, po);
+                req.pipeline = &pipe;
+                out.estimate = estimateResources(req);
+            }
+        }
+    } else {
+        out.estimate = estimateResources(req);
+    }
+    out.measurementSettings = out.estimate.measurementSettings;
+    out.spec.shots = req.shotsPerEstimate; // resolved for replay
+    out.compileMillis = millisSince(tEst);
+
+    out.hamiltonian = std::move(prob.hamiltonian);
+    out.ansatz = std::move(program);
+    out.totalMillis = millisSince(t0);
+    return out;
+}
+
+} // namespace
+
+ExperimentKindRegistry &
+experimentKindRegistry()
+{
+    static ExperimentKindRegistry reg = [] {
+        ExperimentKindRegistry r("experiment kind");
+        r.add("vqe", runVqeExperiment);
+        r.add("evolve", runEvolveExperiment);
+        r.add("estimate", runEstimateExperiment);
+        return r;
+    }();
+    return reg;
+}
+
+ExperimentResult
+Experiment::run() const
+{
+    return experimentKindRegistry().get(resolved.kind)(resolved);
 }
 
 std::string
@@ -291,6 +529,44 @@ ExperimentResult::json(const JsonOptions &options) const
             out += buf;
         }
         out += "},\n";
+    }
+    if (evolution.present) {
+        char ebuf[512];
+        std::snprintf(
+            ebuf, sizeof(ebuf),
+            "\"evolution\": {\"time\": %.17g, \"steps\": %d, "
+            "\"order\": %d, \"terms_per_step\": %zu, "
+            "\"identity_terms\": %zu, \"initial_energy\": %.17g, "
+            "\"final_energy\": %.17g, \"fidelity\": %.17g, "
+            "\"have_fidelity\": %s, \"step_gates\": %zu, "
+            "\"step_cnots\": %zu, \"step_depth\": %zu},\n",
+            evolution.time, evolution.steps, evolution.order,
+            evolution.termsPerStep, evolution.identityTerms,
+            evolution.initialEnergy, evolution.finalEnergy,
+            evolution.fidelity,
+            evolution.haveFidelity ? "true" : "false",
+            evolution.stepGates, evolution.stepCnots,
+            evolution.stepDepth);
+        out += ebuf;
+    }
+    if (estimate.present) {
+        char ebuf[512];
+        std::snprintf(
+            ebuf, sizeof(ebuf),
+            "\"estimate\": {\"qubits\": %u, \"parameters\": %u, "
+            "\"pauli_strings\": %zu, \"hamiltonian_terms\": %zu, "
+            "\"settings\": %zu, \"gates\": %zu, \"cnots\": %zu, "
+            "\"depth\": %zu, \"swaps\": %zu, "
+            "\"overhead_cnots\": %zu, "
+            "\"shots_per_estimate\": %llu, \"shot_budget\": %llu},\n",
+            estimate.qubits, estimate.parameters,
+            estimate.pauliStrings, estimate.hamiltonianTerms,
+            estimate.measurementSettings, estimate.gates,
+            estimate.cnots, estimate.depth, estimate.swaps,
+            estimate.overheadCnots,
+            (unsigned long long)estimate.shotsPerEstimate,
+            (unsigned long long)estimate.shotBudget);
+        out += ebuf;
     }
     if (options.timings) {
         std::snprintf(
@@ -372,6 +648,85 @@ readCompiled(const JsonValue &v, CompiledStats &out)
     return true;
 }
 
+bool
+readEvolution(const JsonValue &v, TimeEvolutionResult &out)
+{
+    if (!v.isObject())
+        return false;
+    out.present = true;
+    uint64_t u = 0;
+    for (const auto &[key, m] : v.members) {
+        if (key == "time" && readDouble(m, out.time)) {
+        } else if (key == "steps" && readUnsigned(m, u)) {
+            out.steps = int(u);
+        } else if (key == "order" && readUnsigned(m, u)) {
+            out.order = int(u);
+        } else if (key == "terms_per_step" && readUnsigned(m, u)) {
+            out.termsPerStep = size_t(u);
+        } else if (key == "identity_terms" && readUnsigned(m, u)) {
+            out.identityTerms = size_t(u);
+        } else if (key == "initial_energy" &&
+                   readDouble(m, out.initialEnergy)) {
+        } else if (key == "final_energy" &&
+                   readDouble(m, out.finalEnergy)) {
+        } else if (key == "fidelity" &&
+                   readDouble(m, out.fidelity)) {
+        } else if (key == "have_fidelity" &&
+                   readBool(m, out.haveFidelity)) {
+        } else if (key == "step_gates" && readUnsigned(m, u)) {
+            out.stepGates = size_t(u);
+        } else if (key == "step_cnots" && readUnsigned(m, u)) {
+            out.stepCnots = size_t(u);
+        } else if (key == "step_depth" && readUnsigned(m, u)) {
+            out.stepDepth = size_t(u);
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+readEstimate(const JsonValue &v, EstimateResult &out)
+{
+    if (!v.isObject())
+        return false;
+    out.present = true;
+    uint64_t u = 0;
+    for (const auto &[key, m] : v.members) {
+        if (key == "qubits" && readUnsigned(m, u)) {
+            out.qubits = unsigned(u);
+        } else if (key == "parameters" && readUnsigned(m, u)) {
+            out.parameters = unsigned(u);
+        } else if (key == "pauli_strings" && readUnsigned(m, u)) {
+            out.pauliStrings = size_t(u);
+        } else if (key == "hamiltonian_terms" &&
+                   readUnsigned(m, u)) {
+            out.hamiltonianTerms = size_t(u);
+        } else if (key == "settings" && readUnsigned(m, u)) {
+            out.measurementSettings = size_t(u);
+        } else if (key == "gates" && readUnsigned(m, u)) {
+            out.gates = size_t(u);
+        } else if (key == "cnots" && readUnsigned(m, u)) {
+            out.cnots = size_t(u);
+        } else if (key == "depth" && readUnsigned(m, u)) {
+            out.depth = size_t(u);
+        } else if (key == "swaps" && readUnsigned(m, u)) {
+            out.swaps = size_t(u);
+        } else if (key == "overhead_cnots" && readUnsigned(m, u)) {
+            out.overheadCnots = size_t(u);
+        } else if (key == "shots_per_estimate" &&
+                   readUnsigned(m, u)) {
+            out.shotsPerEstimate = u;
+        } else if (key == "shot_budget" && readUnsigned(m, u)) {
+            out.shotBudget = u;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace
 
 bool
@@ -421,6 +776,12 @@ ExperimentResult::fromJsonDom(const JsonValue &doc,
             } else if (key == "compiled") {
                 if (!readCompiled(v, r.compiled))
                     return false;
+            } else if (key == "evolution") {
+                if (!readEvolution(v, r.evolution))
+                    return false;
+            } else if (key == "estimate") {
+                if (!readEstimate(v, r.estimate))
+                    return false;
             } else if (key == "timing_ms") {
                 if (!v.isObject())
                     return false;
@@ -468,6 +829,13 @@ ExperimentResult::write(const std::string &name) const
 }
 
 // ------------------------------------------------------- builder
+
+ExperimentBuilder &
+ExperimentBuilder::kind(const std::string &key)
+{
+    draft.kind = key;
+    return *this;
+}
 
 ExperimentBuilder &
 ExperimentBuilder::molecule(const std::string &name)
@@ -565,6 +933,27 @@ ExperimentBuilder &
 ExperimentBuilder::spsaIter(int n)
 {
     draft.spsaIter = n;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::evolveTime(double t)
+{
+    draft.evolveTime = t;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::evolveSteps(int r)
+{
+    draft.evolveSteps = r;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::evolveOrder(int order)
+{
+    draft.evolveOrder = order;
     return *this;
 }
 

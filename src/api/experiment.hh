@@ -2,14 +2,19 @@
  * @file
  * qcc::Experiment — the spec-driven facade over the whole
  * co-optimized flow. One ExperimentSpec (api/spec.hh) names every
- * choice by registry key; Experiment::run() assembles the stack —
- * molecule -> active space -> Jordan-Wigner -> grouped Pauli
- * Hamiltonian -> (compressed) UCCSD -> VQE through an estimation
- * strategy -> optional X-tree/grid compilation — and returns a
- * structured ExperimentResult carrying the energies, the full VQE
- * trace, the pipeline report summary, and phase timings, with JSON
- * serialization under the same QCC_JSON convention as the TRACE and
- * BENCH outputs (RESULT_<name>.json).
+ * choice by registry key, including the workload kind itself:
+ * Experiment::run() dispatches through the ExperimentKindRegistry
+ * to "vqe" (molecule -> active space -> Jordan-Wigner -> grouped
+ * Pauli Hamiltonian -> (compressed) UCCSD -> VQE through an
+ * estimation strategy -> optional X-tree/grid compilation),
+ * "evolve" (Trotterized exp(-iHt) on the same stack, with an exact
+ * Taylor fidelity reference at small n), or "estimate" (the
+ * simulation-free resource estimator — compiler counts plus the
+ * measurement bill, never a 2^n state). Every kind returns the same
+ * structured ExperimentResult (energies, trace, pipeline summary,
+ * evolution/estimate blocks, phase timings) with JSON serialization
+ * under the same QCC_JSON convention as the TRACE and BENCH outputs
+ * (RESULT_<name>.json).
  *
  * ExperimentBuilder is the fluent front end:
  *
@@ -36,6 +41,8 @@
 #include "api/spec.hh"
 #include "arch/grid.hh"
 #include "arch/xtree.hh"
+#include "estimate/estimate.hh"
+#include "evolve/trotter.hh"
 #include "ferm/hamiltonian.hh"
 #include "vqe/driver.hh"
 
@@ -92,6 +99,12 @@ struct ExperimentResult
     uint64_t shots = 0;     ///< total measurement bill
 
     CompiledStats compiled;
+
+    /** Kind "evolve": Trotter run summary (present flag inside). */
+    TimeEvolutionResult evolution;
+
+    /** Kind "estimate": resource counts (present flag inside). */
+    EstimateResult estimate;
 
     double buildMillis = 0.0;   ///< chemistry + ansatz phase
     double vqeMillis = 0.0;
@@ -150,6 +163,21 @@ struct ExperimentResult
     std::string write(const std::string &name) const;
 };
 
+/**
+ * A workload-kind runner: a validated, resolved spec in, a full
+ * result out. The registry below maps spec `kind` keys onto these.
+ */
+using ExperimentKindFn =
+    std::function<ExperimentResult(const ExperimentSpec &)>;
+using ExperimentKindRegistry = Registry<ExperimentKindFn>;
+
+/**
+ * Workload kinds by name — built-ins "vqe", "evolve", "estimate";
+ * downstream code can add() new kinds and select them from specs
+ * with no core changes.
+ */
+ExperimentKindRegistry &experimentKindRegistry();
+
 class ExperimentBuilder;
 
 /** A validated, runnable experiment. */
@@ -179,6 +207,7 @@ class Experiment
 class ExperimentBuilder
 {
   public:
+    ExperimentBuilder &kind(const std::string &key);
     ExperimentBuilder &molecule(const std::string &name);
     ExperimentBuilder &bond(double angstrom);
     ExperimentBuilder &basisNg(int n);
@@ -194,6 +223,9 @@ class ExperimentBuilder
     ExperimentBuilder &seed(uint64_t s);
     ExperimentBuilder &maxIter(int n);
     ExperimentBuilder &spsaIter(int n);
+    ExperimentBuilder &evolveTime(double t);
+    ExperimentBuilder &evolveSteps(int r);
+    ExperimentBuilder &evolveOrder(int order);
     ExperimentBuilder &reference(bool compute);
 
     const ExperimentSpec &spec() const { return draft; }

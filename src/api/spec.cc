@@ -95,6 +95,7 @@ std::string
 ExperimentSpec::json() const
 {
     std::string out = "{\n";
+    appendString(out, "kind", kind);
     appendString(out, "molecule", molecule);
     appendDouble(out, "bond", bond);
     appendInt(out, "basis_ng", basisNg);
@@ -110,6 +111,9 @@ ExperimentSpec::json() const
     appendUint(out, "seed", seed);
     appendInt(out, "max_iter", maxIter);
     appendInt(out, "spsa_iter", spsaIter);
+    appendDouble(out, "evolve_time", evolveTime);
+    appendInt(out, "evolve_steps", evolveSteps);
+    appendInt(out, "evolve_order", evolveOrder);
     out += std::string("  \"reference\": ") +
            (reference ? "true" : "false") + "\n";
     out += "}\n";
@@ -120,7 +124,9 @@ void
 applySpecField(ExperimentSpec &spec, const std::string &key,
                const JsonValue &v)
 {
-    if (key == "molecule")
+    if (key == "kind")
+        spec.kind = asString(key, v);
+    else if (key == "molecule")
         spec.molecule = asString(key, v);
     else if (key == "bond")
         spec.bond = asNumber(key, v);
@@ -150,6 +156,12 @@ applySpecField(ExperimentSpec &spec, const std::string &key,
         spec.maxIter = asInt(key, v);
     else if (key == "spsa_iter")
         spec.spsaIter = asInt(key, v);
+    else if (key == "evolve_time")
+        spec.evolveTime = asNumber(key, v);
+    else if (key == "evolve_steps")
+        spec.evolveSteps = asInt(key, v);
+    else if (key == "evolve_order")
+        spec.evolveOrder = asInt(key, v);
     else if (key == "reference")
         spec.reference = asBool(key, v);
     else
@@ -168,8 +180,17 @@ ExperimentSpec::fromJson(const std::string &doc)
     if (!root.isObject())
         throw SpecError("(document)", "spec must be a JSON object");
     ExperimentSpec spec;
-    for (const auto &[key, value] : root.members)
+    // The ordered DOM preserves duplicate members; silently letting
+    // the last one win would mask an editing mistake in a
+    // hand-authored spec, so reject them with field provenance.
+    std::vector<std::string> seen;
+    for (const auto &[key, value] : root.members) {
+        for (const auto &prior : seen)
+            if (prior == key)
+                throw SpecError(key, "duplicate spec field");
+        seen.push_back(key);
         applySpecField(spec, key, value);
+    }
     return spec;
 }
 

@@ -46,6 +46,13 @@ class SpecError : public std::runtime_error
 /** One experiment, declaratively. */
 struct ExperimentSpec
 {
+    /**
+     * Workload kind (ExperimentKindRegistry key): "vqe" (ground
+     * state), "evolve" (Trotterized time evolution), or "estimate"
+     * (simulation-free resource estimate).
+     */
+    std::string kind = "vqe";
+
     /** Table I catalog molecule ("H2", "LiH", ..., "CH4"). */
     std::string molecule = "H2";
 
@@ -96,7 +103,21 @@ struct ExperimentSpec
     /** SPSA iteration budget. */
     int spsaIter = 250;
 
-    /** Compute the Lanczos FCI reference energy in the result. */
+    /** Total evolution time t of exp(-iHt), in Hartree^-1 (kind
+     *  "evolve"; > 0 required there, must stay 0 for "vqe"). */
+    double evolveTime = 0.0;
+
+    /** Trotter step count r (kind "evolve": >= 1 required; kind
+     *  "estimate": >= 1 selects the Trotter program instead of the
+     *  UCCSD ansatz; must stay 0 for "vqe"). */
+    int evolveSteps = 0;
+
+    /** Product-formula order: 1 (Lie-Trotter) or 2 (Strang). */
+    int evolveOrder = 1;
+
+    /** Compute the Lanczos FCI reference energy in the result; for
+     *  kind "evolve" it gates the exact exp(-iHt) fidelity
+     *  reference instead. Ignored by "estimate". */
     bool reference = true;
 
     /**
@@ -105,8 +126,9 @@ struct ExperimentSpec
      */
     std::string json() const;
 
-    /** Parse a spec document; throws SpecError on malformed input
-     *  or unknown fields (each diagnostic names the field). */
+    /** Parse a spec document; throws SpecError on malformed input,
+     *  unknown fields, or duplicate top-level fields (each
+     *  diagnostic names the field). */
     static ExperimentSpec fromJson(const std::string &doc);
 };
 

@@ -1,0 +1,53 @@
+#include "estimate/estimate.hh"
+
+#include <stdexcept>
+#include <vector>
+
+namespace qcc {
+
+EstimateResult
+estimateResources(const EstimateRequest &req)
+{
+    if (!req.hamiltonian || !req.program)
+        throw std::invalid_argument(
+            "estimateResources: hamiltonian and program are "
+            "required");
+    const PauliSum &h = *req.hamiltonian;
+    const Ansatz &prog = *req.program;
+
+    EstimateResult out;
+    out.present = true;
+    out.qubits = prog.nQubits;
+    out.parameters = prog.nParams;
+    out.pauliStrings = prog.numStrings();
+    out.hamiltonianTerms = h.numTerms();
+    out.measurementSettings =
+        (req.grouping ? req.grouping(h) : groupQubitWise(h)).size();
+
+    // Circuit structure is angle-independent (RZ angles rebind on
+    // the memoized plan), so zero-bound angles give exact counts.
+    const std::vector<double> zeros(prog.nParams, 0.0);
+    if (req.pipeline) {
+        const CompileResult compiled =
+            req.pipeline->compile(prog, zeros);
+        out.gates = compiled.circuit.totalGates();
+        out.cnots = compiled.circuit.cnotCount();
+        out.depth = compiled.circuit.depth();
+        out.swaps = compiled.swapCount;
+        out.overheadCnots = compiled.overheadCnots();
+    } else {
+        const Circuit chain =
+            cachedChainCircuit(prog, zeros, req.includeHfPrep);
+        out.gates = chain.totalGates();
+        out.cnots = chain.cnotCount();
+        out.depth = chain.depth();
+    }
+
+    out.shotsPerEstimate = req.shotsPerEstimate;
+    out.shotBudget =
+        req.shotsPerEstimate *
+        uint64_t(req.iterations > 0 ? req.iterations : 0);
+    return out;
+}
+
+} // namespace qcc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulation-free resource estimation — the workload that answers
+ * "what would this spec cost on hardware" without ever allocating a
+ * 2^n state. The estimator runs a program (UCCSD ansatz or Trotter
+ * evolution) through the ordinary compiler pipeline with zero-bound
+ * angles (circuit structure is angle-independent, so counts are
+ * exact for every binding) and combines the gate/CNOT/depth/SWAP
+ * counts with the measurement-side bill: QWC settings from the
+ * spec's grouping and the resolved shot budget. An estimate job
+ * costs microseconds once the problem and compile caches are warm —
+ * that is what lets the sweep service answer Table I-scale queries
+ * at interactive latency (ScaffCC's default output is exactly this
+ * kind of no-simulation estimate).
+ */
+
+#ifndef QCC_ESTIMATE_ESTIMATE_HH
+#define QCC_ESTIMATE_ESTIMATE_HH
+
+#include <cstdint>
+
+#include "ansatz/uccsd.hh"
+#include "compiler/pipeline.hh"
+#include "pauli/grouping.hh"
+#include "pauli/pauli_sum.hh"
+
+namespace qcc {
+
+/** Everything estimateResources needs about one job. */
+struct EstimateRequest
+{
+    /** Measured Hamiltonian (settings + term counts). */
+    const PauliSum *hamiltonian = nullptr;
+
+    /** The program whose circuit is costed. */
+    const Ansatz *program = nullptr;
+
+    /** Measurement grouping; null means greedy first-fit. */
+    GroupingFn grouping;
+
+    /**
+     * Configured pipeline to compile through; null costs the
+     * logical chain plan (no device, no SWAPs).
+     */
+    const CompilerPipeline *pipeline = nullptr;
+
+    /** Prepend HF X-gates in the costed circuit (chain plan). */
+    bool includeHfPrep = true;
+
+    /** Resolved shots per energy estimate (already defaulted). */
+    uint64_t shotsPerEstimate = 0;
+
+    /** Iteration budget used to extend the bill to a whole run. */
+    int iterations = 0;
+};
+
+/** Serialized resource estimate for one job (kind "estimate"). */
+struct EstimateResult
+{
+    bool present = false;
+
+    unsigned qubits = 0;
+    unsigned parameters = 0;   ///< program parameters
+    size_t pauliStrings = 0;   ///< rotations in the program
+    size_t hamiltonianTerms = 0;
+    size_t measurementSettings = 0; ///< QWC families
+
+    size_t gates = 0;
+    size_t cnots = 0;
+    size_t depth = 0;
+    size_t swaps = 0;
+    size_t overheadCnots = 0; ///< 3 per SWAP (paper convention)
+
+    /** Shots for ONE energy estimate, split across the settings. */
+    uint64_t shotsPerEstimate = 0;
+
+    /**
+     * Whole-run lower bound: shotsPerEstimate * iterations (one
+     * estimate per outer iteration; gradient fan-out multiplies it).
+     */
+    uint64_t shotBudget = 0;
+};
+
+/**
+ * Cost one job. Compiles `program` with all-zero angles — through
+ * `pipeline` when given (full device counts including SWAPs),
+ * otherwise as the cached logical chain plan — and fills every
+ * count above. Never constructs a simulator state. Throws whatever
+ * the compiler throws on an invalid program/device pairing.
+ */
+EstimateResult estimateResources(const EstimateRequest &req);
+
+} // namespace qcc
+
+#endif // QCC_ESTIMATE_ESTIMATE_HH

@@ -185,63 +185,18 @@ DensityMatrix::applyCircuit(const Circuit &c, const NoiseModel &noise,
 void
 DensityMatrix::depolarize2(unsigned a, unsigned b, double p)
 {
-    if (p <= 0.0)
-        return;
     // Uniform two-qubit depolarizing channel:
     //   D(rho) = (1-p) rho + p/15 sum_{(P,Q) != II} (P@Q) rho (P@Q)
-    //          = (1 - 16p/15) rho + (16p/15) (I4/4 @ Tr_ab rho).
-    const double keep = 1.0 - 16.0 * p / 15.0;
-    const double mix = (16.0 * p / 15.0) / 4.0;
-
-    const uint64_t ka = 1ull << a, kb = 1ull << b;
-    const uint64_t ba = ka << nQubits, bb = kb << nQubits;
-    const uint64_t sub[4] = {0, ka, kb, ka | kb};
-    const size_t n = vec.size();
-    const uint64_t pairMask = ka | kb | ba | bb;
-
-    for (size_t base = 0; base < n; ++base) {
-        if (base & pairMask)
-            continue;
-        // Partial trace over qubits (a, b) for this (rest-ket,
-        // rest-bra) block.
-        complex<double> tr = 0.0;
-        for (int s = 0; s < 4; ++s)
-            tr += vec[base | sub[s] | (sub[s] << nQubits)];
-
-        for (int s1 = 0; s1 < 4; ++s1) {
-            for (int s2 = 0; s2 < 4; ++s2) {
-                const size_t idx =
-                    base | sub[s1] | (sub[s2] << nQubits);
-                vec[idx] *= keep;
-                if (s1 == s2)
-                    vec[idx] += mix * tr;
-            }
-        }
-    }
+    //          = (1 - 16p/15) rho + (16p/15) (I4/4 @ Tr_ab rho),
+    // swept as disjoint 4x4 sub-blocks by the dispatched kernel.
+    kern::depolarize2(vec.data(), vec.size(), a, b, nQubits, p);
 }
 
 void
 DensityMatrix::depolarize1(unsigned q, double p)
 {
-    if (p <= 0.0)
-        return;
     // D(rho) = (1 - 4p/3) rho + (4p/3)(I/2 @ Tr_q rho).
-    const double keep = 1.0 - 4.0 * p / 3.0;
-    const double mix = (4.0 * p / 3.0) / 2.0;
-
-    const uint64_t kq = 1ull << q;
-    const uint64_t bq = kq << nQubits;
-    const size_t n = vec.size();
-
-    for (size_t base = 0; base < n; ++base) {
-        if (base & (kq | bq))
-            continue;
-        complex<double> tr = vec[base] + vec[base | kq | bq];
-        vec[base] = keep * vec[base] + mix * tr;
-        vec[base | kq | bq] = keep * vec[base | kq | bq] + mix * tr;
-        vec[base | kq] *= keep;
-        vec[base | bq] *= keep;
-    }
+    kern::depolarize1(vec.data(), vec.size(), q, nQubits, p);
 }
 
 void

@@ -1,5 +1,6 @@
 #include "sim/kernels.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <utility>
@@ -197,6 +198,40 @@ diagonalGroupExpectation(const cplx *amp, size_t dim, const double *w,
     return parallelReduce(0, dim, 0.0, [=](size_t lo, size_t hi) {
         return ranges::groupExpect(amp, lo, hi, 0, w, zmask,
                                    n_terms);
+    });
+}
+
+void
+depolarize1(cplx *rho, size_t dim, unsigned q, unsigned n_qubits,
+            double p)
+{
+    if (p <= 0.0)
+        return;
+    const double keep = 1.0 - 4.0 * p / 3.0;
+    const double mix = (4.0 * p / 3.0) / 2.0;
+    const uint64_t kbit = 1ull << q;
+    const uint64_t bbit = kbit << n_qubits;
+    // Each compacted k names one disjoint 2x2 sub-block, so the
+    // per-element result is independent of the chunking.
+    parallelFor(0, dim / 4, [=](size_t lo, size_t hi) {
+        ranges::depolarize1(rho, lo, hi, kbit, bbit, keep, mix);
+    });
+}
+
+void
+depolarize2(cplx *rho, size_t dim, unsigned a, unsigned b,
+            unsigned n_qubits, double p)
+{
+    if (p <= 0.0)
+        return;
+    const double keep = 1.0 - 16.0 * p / 15.0;
+    const double mix = (16.0 * p / 15.0) / 4.0;
+    const uint64_t ka = 1ull << std::min(a, b);
+    const uint64_t kb = 1ull << std::max(a, b);
+    const uint64_t ba = ka << n_qubits;
+    const uint64_t bb = kb << n_qubits;
+    parallelFor(0, dim / 16, [=](size_t lo, size_t hi) {
+        ranges::depolarize2(rho, lo, hi, ka, kb, ba, bb, keep, mix);
     });
 }
 

@@ -89,6 +89,23 @@ double diagonalGroupExpectation(const cplx *amp, size_t dim,
                                 const double *w, const uint64_t *zmask,
                                 size_t n_terms);
 
+/**
+ * Uniform single-qubit depolarizing channel on a vectorized density
+ * matrix (rho over `dim` = 4^n entries, bra index bits above the n
+ * ket bits): D(rho) = (1 - 4p/3) rho + (4p/3)(I/2 (x) Tr_q rho).
+ * No-op for p <= 0.
+ */
+void depolarize1(cplx *rho, size_t dim, unsigned q, unsigned n_qubits,
+                 double p);
+
+/**
+ * Uniform two-qubit depolarizing channel on a vectorized density
+ * matrix: D(rho) = (1 - 16p/15) rho + (16p/15)(I4/4 (x) Tr_ab rho).
+ * No-op for p <= 0.
+ */
+void depolarize2(cplx *rho, size_t dim, unsigned a, unsigned b,
+                 unsigned n_qubits, double p);
+
 /** @{ Reference full-scan implementations (the seed's algorithms). */
 void apply1qGeneric(cplx *amp, size_t dim, unsigned q, const cplx u[4]);
 void applyPauliRotationGeneric(cplx *amp, size_t dim, uint64_t x,

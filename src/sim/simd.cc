@@ -230,6 +230,45 @@ groupExpectScalar(const cplx *amp, size_t b_lo, size_t b_hi,
 }
 
 void
+depolarize1Scalar(cplx *amp, size_t k_lo, size_t k_hi, uint64_t kbit,
+                  uint64_t bbit, double keep, double mix)
+{
+    for (size_t k = k_lo; k < k_hi; ++k) {
+        const size_t base = expandBit(expandBit(k, kbit), bbit);
+        const cplx tr = amp[base] + amp[base | kbit | bbit];
+        amp[base] = keep * amp[base] + mix * tr;
+        amp[base | kbit | bbit] =
+            keep * amp[base | kbit | bbit] + mix * tr;
+        amp[base | kbit] *= keep;
+        amp[base | bbit] *= keep;
+    }
+}
+
+void
+depolarize2Scalar(cplx *amp, size_t k_lo, size_t k_hi, uint64_t ka,
+                  uint64_t kb, uint64_t ba, uint64_t bb, double keep,
+                  double mix)
+{
+    const uint64_t sub[4] = {0, ka, kb, ka | kb};
+    const uint64_t bsub[4] = {0, ba, bb, ba | bb};
+    for (size_t k = k_lo; k < k_hi; ++k) {
+        const size_t base = expandBit(
+            expandBit(expandBit(expandBit(k, ka), kb), ba), bb);
+        cplx tr = 0.0;
+        for (int s = 0; s < 4; ++s)
+            tr += amp[base | sub[s] | bsub[s]];
+        for (int s1 = 0; s1 < 4; ++s1) {
+            for (int s2 = 0; s2 < 4; ++s2) {
+                const size_t idx = base | sub[s1] | bsub[s2];
+                amp[idx] *= keep;
+                if (s1 == s2)
+                    amp[idx] += mix * tr;
+            }
+        }
+    }
+}
+
+void
 applyX(cplx *amp, size_t k_lo, size_t k_hi, uint64_t bit)
 {
     for (size_t k = k_lo; k < k_hi; ++k) {
@@ -669,6 +708,111 @@ groupExpectAvx2(const cplx *ampc, size_t b_lo, size_t b_hi,
     return hsum(acc) + tail;
 }
 
+QCC_AVX2 void
+depolarize1Avx2(cplx *ampc, size_t k_lo, size_t k_hi, uint64_t kbit,
+                uint64_t bbit, double keep, double mix)
+{
+    if (kbit < 2) {
+        // Runs shorter than one register: the scalar sweep wins.
+        depolarize1Scalar(ampc, k_lo, k_hi, kbit, bbit, keep, mix);
+        return;
+    }
+    double *amp = reinterpret_cast<double *>(ampc);
+    const __m256d keepv = _mm256_set1_pd(keep);
+    const __m256d mixv = _mm256_set1_pd(mix);
+    size_t k = k_lo;
+    while (k < k_hi) {
+        // Low k bits below kbit map 1:1 onto base, so each k-run is
+        // four contiguous amplitude streams (one per block entry).
+        const size_t runEnd =
+            std::min<size_t>(k_hi, (k | (kbit - 1)) + 1);
+        const size_t base = expandBit(expandBit(k, kbit), bbit);
+        double *p00 = amp + 2 * base;
+        double *p01 = amp + 2 * (base | kbit);
+        double *p10 = amp + 2 * (base | bbit);
+        double *p11 = amp + 2 * (base | kbit | bbit);
+        const size_t len = runEnd - k;
+        size_t i = 0;
+        for (; i + 2 <= len; i += 2) {
+            const __m256d a00 = _mm256_loadu_pd(p00 + 2 * i);
+            const __m256d a11 = _mm256_loadu_pd(p11 + 2 * i);
+            // keep/mix are real, so packed complex scales are plain
+            // element-wise mul/fmadd.
+            const __m256d tr = _mm256_add_pd(a00, a11);
+            _mm256_storeu_pd(p00 + 2 * i,
+                             _mm256_fmadd_pd(
+                                 mixv, tr,
+                                 _mm256_mul_pd(keepv, a00)));
+            _mm256_storeu_pd(p11 + 2 * i,
+                             _mm256_fmadd_pd(
+                                 mixv, tr,
+                                 _mm256_mul_pd(keepv, a11)));
+            _mm256_storeu_pd(
+                p01 + 2 * i,
+                _mm256_mul_pd(keepv,
+                              _mm256_loadu_pd(p01 + 2 * i)));
+            _mm256_storeu_pd(
+                p10 + 2 * i,
+                _mm256_mul_pd(keepv,
+                              _mm256_loadu_pd(p10 + 2 * i)));
+        }
+        if (i < len)
+            depolarize1Scalar(ampc, k + i, runEnd, kbit, bbit, keep,
+                              mix);
+        k = runEnd;
+    }
+}
+
+QCC_AVX2 void
+depolarize2Avx2(cplx *ampc, size_t k_lo, size_t k_hi, uint64_t ka,
+                uint64_t kb, uint64_t ba, uint64_t bb, double keep,
+                double mix)
+{
+    if (ka < 2) {
+        depolarize2Scalar(ampc, k_lo, k_hi, ka, kb, ba, bb, keep,
+                          mix);
+        return;
+    }
+    double *amp = reinterpret_cast<double *>(ampc);
+    const __m256d keepv = _mm256_set1_pd(keep);
+    const __m256d mixv = _mm256_set1_pd(mix);
+    const uint64_t sub[4] = {0, ka, kb, ka | kb};
+    const uint64_t bsub[4] = {0, ba, bb, ba | bb};
+    size_t k = k_lo;
+    while (k < k_hi) {
+        const size_t runEnd =
+            std::min<size_t>(k_hi, (k | (ka - 1)) + 1);
+        const size_t base = expandBit(
+            expandBit(expandBit(expandBit(k, ka), kb), ba), bb);
+        // 16 contiguous streams, one per 4x4 block entry.
+        double *p[4][4];
+        for (int s1 = 0; s1 < 4; ++s1)
+            for (int s2 = 0; s2 < 4; ++s2)
+                p[s1][s2] = amp + 2 * (base | sub[s1] | bsub[s2]);
+        const size_t len = runEnd - k;
+        size_t i = 0;
+        for (; i + 2 <= len; i += 2) {
+            __m256d tr = _mm256_loadu_pd(p[0][0] + 2 * i);
+            for (int s = 1; s < 4; ++s)
+                tr = _mm256_add_pd(tr,
+                                   _mm256_loadu_pd(p[s][s] + 2 * i));
+            for (int s1 = 0; s1 < 4; ++s1) {
+                for (int s2 = 0; s2 < 4; ++s2) {
+                    __m256d v = _mm256_mul_pd(
+                        keepv, _mm256_loadu_pd(p[s1][s2] + 2 * i));
+                    if (s1 == s2)
+                        v = _mm256_fmadd_pd(mixv, tr, v);
+                    _mm256_storeu_pd(p[s1][s2] + 2 * i, v);
+                }
+            }
+        }
+        if (i < len)
+            depolarize2Scalar(ampc, k + i, runEnd, ka, kb, ba, bb,
+                              keep, mix);
+        k = runEnd;
+    }
+}
+
 } // namespace
 
 #endif // QCC_SIMD_X86
@@ -779,6 +923,33 @@ groupExpect(const cplx *amp, size_t b_lo, size_t b_hi,
 #endif
     return groupExpectScalar(amp, b_lo, b_hi, b_offset, w, zmask,
                              n_terms);
+}
+
+void
+depolarize1(cplx *amp, size_t k_lo, size_t k_hi, uint64_t kbit,
+            uint64_t bbit, double keep, double mix)
+{
+#ifdef QCC_SIMD_X86
+    if (simdActive()) {
+        depolarize1Avx2(amp, k_lo, k_hi, kbit, bbit, keep, mix);
+        return;
+    }
+#endif
+    depolarize1Scalar(amp, k_lo, k_hi, kbit, bbit, keep, mix);
+}
+
+void
+depolarize2(cplx *amp, size_t k_lo, size_t k_hi, uint64_t ka,
+            uint64_t kb, uint64_t ba, uint64_t bb, double keep,
+            double mix)
+{
+#ifdef QCC_SIMD_X86
+    if (simdActive()) {
+        depolarize2Avx2(amp, k_lo, k_hi, ka, kb, ba, bb, keep, mix);
+        return;
+    }
+#endif
+    depolarize2Scalar(amp, k_lo, k_hi, ka, kb, ba, bb, keep, mix);
 }
 
 } // namespace ranges

@@ -137,6 +137,34 @@ double groupExpectScalar(const cplx *amp, size_t b_lo, size_t b_hi,
                          uint64_t b_offset, const double *w,
                          const uint64_t *zmask, size_t n_terms);
 
+/**
+ * Single-qubit depolarizing sweep over one vectorized density
+ * matrix. k in [k_lo, k_hi) compacts away the ket bit `kbit` and the
+ * bra bit `bbit` (kbit < bbit required): each k names one 2x2
+ * sub-block {base, base|kbit, base|bbit, base|kbit|bbit}, which is
+ * scaled by `keep` with `mix * (partial trace)` added back on the
+ * two diagonal entries. keep/mix are real, so the AVX2 body is plain
+ * mul/fmadd on packed complex doubles.
+ */
+void depolarize1(cplx *amp, size_t k_lo, size_t k_hi, uint64_t kbit,
+                 uint64_t bbit, double keep, double mix);
+void depolarize1Scalar(cplx *amp, size_t k_lo, size_t k_hi,
+                       uint64_t kbit, uint64_t bbit, double keep,
+                       double mix);
+
+/**
+ * Two-qubit depolarizing sweep: k compacts away the two ket bits
+ * (ka < kb) and two bra bits (ba < bb, both above kb); each k names
+ * a 4x4 sub-block scaled by `keep` with `mix * (partial trace over
+ * the four diagonal entries)` added on the diagonal.
+ */
+void depolarize2(cplx *amp, size_t k_lo, size_t k_hi, uint64_t ka,
+                 uint64_t kb, uint64_t ba, uint64_t bb, double keep,
+                 double mix);
+void depolarize2Scalar(cplx *amp, size_t k_lo, size_t k_hi,
+                       uint64_t ka, uint64_t kb, uint64_t ba,
+                       uint64_t bb, double keep, double mix);
+
 /** @{ Permutation range kernels (scalar; these are pure moves). */
 void applyX(cplx *amp, size_t k_lo, size_t k_hi, uint64_t bit);
 void applyCx(cplx *amp, size_t k_lo, size_t k_hi, uint64_t cbit,

@@ -163,10 +163,14 @@ ResultStore::json() const
     out += buf;
 
     // ---- best energy per molecule (Done jobs, job order) --------
+    // Ground-state aggregates are a VQE notion: estimate jobs carry
+    // only the HF placeholder energy and evolve jobs report
+    // <psi(t)|H|psi(t)>, so both would pollute "best".
     std::vector<std::string> moleculeOrder;
     std::map<std::string, const SweepJobRecord *> best;
     for (const auto &r : records) {
-        if (r.status != JobStatus::Done)
+        if (r.status != JobStatus::Done ||
+            r.effectiveSpec().kind != "vqe")
             continue;
         auto it = best.find(r.spec.molecule);
         if (it == best.end()) {
@@ -196,6 +200,7 @@ ResultStore::json() const
         std::vector<const SweepJobRecord *> points;
         for (const auto &r : records)
             if (r.status == JobStatus::Done &&
+                r.effectiveSpec().kind == "vqe" &&
                 r.spec.molecule == mol)
                 points.push_back(&r);
         std::stable_sort(points.begin(), points.end(),

@@ -96,6 +96,55 @@ TEST(ExperimentSpec, MalformedJsonNamesTheField)
     } catch (const SpecError &e) {
         EXPECT_EQ(e.field(), "no_such_field");
     }
+    // A typo'd evolve field must be named, not silently dropped.
+    try {
+        ExperimentSpec::fromJson("{\"evolve_step\": 4}");
+        FAIL() << "typo'd field accepted";
+    } catch (const SpecError &e) {
+        EXPECT_EQ(e.field(), "evolve_step");
+    }
+    EXPECT_THROW(ExperimentSpec::fromJson("{\"evolve_steps\": 1e300}"),
+                 SpecError);
+    EXPECT_THROW(ExperimentSpec::fromJson("{\"kind\": 3}"),
+                 SpecError);
+}
+
+TEST(ExperimentSpec, DuplicateTopLevelFieldsRejected)
+{
+    // The ordered-DOM parser preserves duplicates; last-wins would
+    // make two meanings for one document, so the spec layer rejects.
+    try {
+        ExperimentSpec::fromJson(
+            "{\"molecule\": \"H2\", \"molecule\": \"LiH\"}");
+        FAIL() << "duplicate field accepted";
+    } catch (const SpecError &e) {
+        EXPECT_EQ(e.field(), "molecule");
+        EXPECT_NE(std::string(e.what()).find("duplicate"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(ExperimentSpec::fromJson(
+                     "{\"kind\": \"vqe\", \"bond\": 1.0, "
+                     "\"kind\": \"estimate\"}"),
+                 SpecError);
+    // Non-duplicated documents still parse.
+    EXPECT_NO_THROW(ExperimentSpec::fromJson(
+        "{\"kind\": \"estimate\", \"bond\": 1.0}"));
+}
+
+TEST(ExperimentSpec, EvolveFieldsRoundTrip)
+{
+    ExperimentSpec s;
+    s.kind = "evolve";
+    s.evolveTime = 0.75;
+    s.evolveSteps = 6;
+    s.evolveOrder = 2;
+    const std::string doc = s.json();
+    const ExperimentSpec back = ExperimentSpec::fromJson(doc);
+    EXPECT_EQ(back.json(), doc);
+    EXPECT_EQ(back.kind, "evolve");
+    EXPECT_EQ(back.evolveTime, 0.75);
+    EXPECT_EQ(back.evolveSteps, 6);
+    EXPECT_EQ(back.evolveOrder, 2);
 }
 
 TEST(Experiment, UnknownModeListsRegisteredModes)

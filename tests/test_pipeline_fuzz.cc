@@ -19,6 +19,7 @@
 #include "compiler/chain_synthesis.hh"
 #include "compiler/pipeline.hh"
 #include "compiler/verify.hh"
+#include "evolve/trotter.hh"
 #include "sim/fusion.hh"
 #include "sim/simd.hh"
 #include "sim/statevector.hh"
@@ -174,6 +175,98 @@ TEST(PipelineFuzz, CompiledCircuitsExecuteIdenticallyFusedAndSimd)
                                  ref.amplitudes()[i]),
                         0.0, 1e-12)
                 << "fused-simd trial " << t << " index " << i;
+        }
+    }
+    kern::setSimdEnabled(simdWas);
+}
+
+TEST(PipelineFuzz, TrotterProgramsCompileAndExecuteIdentically)
+{
+    // Trotter circuits are a different gate population from random
+    // UCCSD-style programs — long family-ordered rotation streams,
+    // one shared dt parameter — so push them through the same three
+    // flows and the four execution tiers.
+    setVerbose(false);
+    XTree tree = makeXTree(7);
+
+    PipelineOptions chainOpts;
+    chainOpts.flow = PipelineOptions::Flow::ChainOnly;
+    chainOpts.verifyTrials = 2;
+    chainOpts.useCache = false;
+    CompilerPipeline chain(chainOpts);
+
+    PipelineOptions mtrOpts;
+    mtrOpts.verifyTrials = 2;
+    mtrOpts.useCache = false;
+    CompilerPipeline mtr(tree, mtrOpts);
+
+    PipelineOptions sabreOpts;
+    sabreOpts.flow = PipelineOptions::Flow::Sabre;
+    sabreOpts.verifyTrials = 2;
+    sabreOpts.useCache = false;
+    CompilerPipeline sabre(tree, sabreOpts);
+
+    const bool simdWas = kern::simdActive();
+    for (uint64_t t = 0; t < 6; ++t) {
+        Rng rng(deriveStream(0x7407 + t, 3));
+        // Random Hermitian PauliSum -> Trotter program.
+        const unsigned n = 2 + unsigned(rng.index(4)); // 2..5
+        const uint64_t full = (uint64_t{1} << n) - 1;
+        PauliSum h(n);
+        const size_t nTerms = 2 + rng.index(5);
+        for (size_t j = 0; j < nTerms; ++j)
+            h.add(rng.uniform(-0.9, 0.9),
+                  PauliString(n, rng.index(full + 1),
+                              rng.index(full + 1)));
+        const int steps = 1 + int(rng.index(3));
+        const int order = 1 + int(rng.index(2));
+        const TrotterBuild tb = buildTrotterAnsatz(
+            h, rng.index(full + 1), steps, order);
+        if (tb.ansatz.rotations.empty())
+            continue; // all-identity draw: nothing to compile
+        const std::vector<double> params = {rng.uniform(0.05, 0.4)};
+
+        checkFlow(tb.ansatz, params, chain, "trotter-chain", t);
+        checkFlow(tb.ansatz, params, mtr, "trotter-mtr", t);
+        checkFlow(tb.ansatz, params, sabre, "trotter-sabre", t);
+
+        // Four-tier execution agreement on the routed circuit.
+        CompileResult res = mtr.compile(tb.ansatz, params);
+        const unsigned nc = res.circuit.numQubits();
+        Statevector ref(nc);
+        {
+            double norm2 = 0.0;
+            for (auto &v : ref.amplitudes()) {
+                v = cplx(rng.gaussian(), rng.gaussian());
+                norm2 += std::norm(v);
+            }
+            for (auto &v : ref.amplitudes())
+                v /= std::sqrt(norm2);
+        }
+        Statevector simd(nc), fusedS(nc), fusedV(nc);
+        simd.amplitudes() = ref.amplitudes();
+        fusedS.amplitudes() = ref.amplitudes();
+        fusedV.amplitudes() = ref.amplitudes();
+        kern::setSimdEnabled(false);
+        ref.applyCircuit(res.circuit, false);
+        fusedS.applyCircuit(res.circuit, true);
+        kern::setSimdEnabled(true);
+        simd.applyCircuit(res.circuit, false);
+        fusedV.applyCircuit(res.circuit, true);
+        for (size_t i = 0; i < ref.dim(); ++i) {
+            ASSERT_NEAR(std::abs(simd.amplitudes()[i] -
+                                 ref.amplitudes()[i]),
+                        0.0, 1e-12)
+                << "trotter simd trial " << t << " index " << i;
+            ASSERT_NEAR(std::abs(fusedS.amplitudes()[i] -
+                                 ref.amplitudes()[i]),
+                        0.0, 1e-12)
+                << "trotter fused trial " << t << " index " << i;
+            ASSERT_NEAR(std::abs(fusedV.amplitudes()[i] -
+                                 ref.amplitudes()[i]),
+                        0.0, 1e-12)
+                << "trotter fused-simd trial " << t << " index "
+                << i;
         }
     }
     kern::setSimdEnabled(simdWas);

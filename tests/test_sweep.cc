@@ -389,6 +389,80 @@ TEST(SweepEngine, AggregateCarriesCurvesAndSummaries)
               std::string::npos);
 }
 
+TEST(SweepEngine, EstimateSweepRunsSimulationFree)
+{
+    // A whole estimate sweep — the Table I costing path — runs
+    // through the ordinary engine with kind dispatch per job.
+    SweepSpec spec = SweepSpec::fromJson(R"({
+      "name": "est_unit",
+      "base": {
+        "kind": "estimate", "molecule": "H2", "max_iter": 20,
+        "shots": 1000, "reference": false
+      },
+      "axes": {
+        "grouping": ["greedy", "sorted-insertion", "graph-coloring"]
+      },
+      "emit_timings": false
+    })");
+    ResultStore store = SweepEngine(spec).run();
+    ASSERT_EQ(store.countWithStatus(JobStatus::Done), 3u);
+    for (const auto &rec : store.jobs()) {
+        EXPECT_TRUE(rec.result.estimate.present);
+        EXPECT_EQ(rec.result.shots, 0u) << "estimate spent shots";
+        EXPECT_EQ(rec.result.estimate.shotBudget, 1000u * 20u);
+        EXPECT_GT(rec.result.estimate.gates, 0u);
+    }
+    // All groupings cost the same circuit; settings may differ.
+    EXPECT_EQ(store.jobs()[0].result.estimate.cnots,
+              store.jobs()[2].result.estimate.cnots);
+
+    const std::string doc = store.json();
+    EXPECT_NE(doc.find("\"estimate\""), std::string::npos);
+    // Ground-state aggregates stay empty: HF placeholders must not
+    // masquerade as a best energy or a dissociation curve.
+    EXPECT_NE(doc.find("\"best_energy\": []"), std::string::npos);
+    EXPECT_NE(doc.find("\"curves\": []"), std::string::npos);
+
+    // Resume adopts estimate records byte-identically too.
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("qcc_est_resume_" + std::to_string(::getpid()) + ".json"))
+            .string();
+    ASSERT_FALSE(store.writeTo(path).empty());
+    SweepEngineOptions opts;
+    opts.resumeFrom = path;
+    SweepEngine resumed(spec, opts);
+    ResultStore second = resumed.run();
+    EXPECT_EQ(resumed.adopted(), 3u);
+    EXPECT_EQ(second.json(), doc);
+    std::filesystem::remove(path);
+}
+
+TEST(SweepEngine, MixedKindSweepKeepsKindsApart)
+{
+    // One sweep can mix workloads via a kind axis (vqe jobs reuse
+    // the spec's evolve-free defaults, estimate jobs never sample).
+    SweepSpec spec = SweepSpec::fromJson(R"({
+      "name": "mixed",
+      "base": {
+        "molecule": "H2", "mode": "sampled", "optimizer": "spsa",
+        "spsa_iter": 5, "shots": 512, "reference": false
+      },
+      "axes": {"kind": ["vqe", "estimate"]},
+      "emit_timings": false
+    })");
+    ResultStore store = SweepEngine(spec).run();
+    ASSERT_EQ(store.countWithStatus(JobStatus::Done), 2u);
+    const auto &jobs = store.jobs();
+    EXPECT_FALSE(jobs[0].result.estimate.present);
+    EXPECT_GT(jobs[0].result.shots, 0u);
+    EXPECT_TRUE(jobs[1].result.estimate.present);
+    EXPECT_EQ(jobs[1].result.shots, 0u);
+    // best_energy reports only the vqe job.
+    EXPECT_NE(store.json().find("\"molecule\": \"H2\", \"job\": 0"),
+              std::string::npos);
+}
+
 TEST(SweepSpecFiles, ShippedTableSpecsParseAndExpand)
 {
     // The full Table I/II studies ship as spec files (copied next to
