@@ -32,6 +32,8 @@
 
 #include "bench_util.hh"
 #include "compiler/cache.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "store/problem_store.hh"
 #include "store/store.hh"
 #include "sweep/sweep_engine.hh"
@@ -222,12 +224,57 @@ main()
     printRow("serial, shared caches", shared);
     addRow("serial_shared", shared, &cold, 0);
 
+    // Queue-wait probe: delta of the thread pool's
+    // parallel.queue_wait_us histogram across the concurrent run —
+    // how long tasks sat submitted-but-unclaimed. Milliseconds here
+    // would mean the pool, not the work, is the bottleneck.
+    MetricHistogram &qwait =
+        metricHistogram("parallel.queue_wait_us");
+    const MetricHistogram::Snapshot qwBefore = qwait.snapshot();
     ResultStore store("bench_sweep", true);
     RunOutcome conc = runStudy(spec, width, false, &store);
+    const MetricHistogram::Snapshot qwAfter = qwait.snapshot();
     printRow(("concurrent x" + std::to_string(width) + ", capped")
                  .c_str(),
              conc);
     addRow("concurrent_capped", conc, &cold, double(width));
+    MetricHistogram::Snapshot qw;
+    qw.count = qwAfter.count - qwBefore.count;
+    qw.sumUs = qwAfter.sumUs - qwBefore.sumUs;
+    for (size_t i = 0; i < MetricHistogram::kBuckets; ++i)
+        qw.buckets[i] = qwAfter.buckets[i] - qwBefore.buckets[i];
+    std::printf("  pool queue wait: %llu tasks, mean %.1f us, "
+                "p95 <= %.0f us\n",
+                (unsigned long long)qw.count, qw.mean(),
+                qw.quantile(0.95));
+    report.row("queue_wait",
+               {{"tasks", double(qw.count)},
+                {"mean_us", qw.mean()},
+                {"p95_us", qw.quantile(0.95)}});
+
+    // Instrumentation-overhead row: the identical concurrent run
+    // with QCC_TRACE on, every span recording into the in-memory
+    // buffers. Acceptance: within 3% of the untraced row — spans
+    // are two clock reads and an appended struct, not a lock.
+    setTraceEnabled(true);
+    clearTrace();
+    RunOutcome traced = runStudy(spec, width, false);
+    setTraceEnabled(false);
+    const size_t tracedEvents = traceEventCount();
+    clearTrace();
+    const double overheadPct =
+        conc.wallMs > 0
+            ? (traced.wallMs / conc.wallMs - 1.0) * 100.0
+            : 0.0;
+    printRow(("concurrent x" + std::to_string(width) + ", traced")
+                 .c_str(),
+             traced);
+    report.row("concurrent_traced",
+               {{"wall_ms", traced.wallMs},
+                {"jobs", double(nSeeds)},
+                {"concurrency", double(width)},
+                {"trace_events", double(tracedEvents)},
+                {"overhead_pct_vs_capped", overheadPct}});
 
     // Same run without the per-job width cap: every one of the
     // `width` jobs sizes its data-parallel sweeps to the whole
@@ -294,6 +341,9 @@ main()
                 speedup(cold, conc));
     std::printf("width cap vs uncapped:             %.2fx\n",
                 speedup(uncapped, conc));
+    std::printf("tracing overhead vs capped:        %+.1f%% "
+                "(acceptance: <= 3%%)\n",
+                overheadPct);
     std::printf("warm disk store vs serial cold:    %.2fx "
                 "(acceptance: >= 2x)\n",
                 speedup(cold, warmDisk));

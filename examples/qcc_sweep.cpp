@@ -25,6 +25,8 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "store/store.hh"
 #include "sweep/sweep_engine.hh"
 
@@ -98,7 +100,7 @@ main(int argc, char **argv)
     try {
         spec = SweepSpec::fromFile(specPath);
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "qcc_sweep: %s\n", e.what());
+        error(std::string("qcc_sweep: ") + e.what());
         return 1;
     }
     if (forceEstimate) {
@@ -115,7 +117,7 @@ main(int argc, char **argv)
     try {
         jobs = spec.expand();
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "qcc_sweep: %s\n", e.what());
+        error(std::string("qcc_sweep: ") + e.what());
         return 1;
     }
 
@@ -265,6 +267,16 @@ main(int argc, char **argv)
             std::printf("wrote %s\n", statsPath.c_str());
         }
     }
+
+    // Telemetry documents under the same QCC_JSON convention as the
+    // aggregate: a trace only when QCC_TRACE is on, metrics whenever
+    // the registry is enabled.
+    const std::string tracePath = writeTraceJson(store.name());
+    if (!tracePath.empty())
+        std::printf("wrote %s\n", tracePath.c_str());
+    const std::string metricsPath = writeMetricsJson(store.name());
+    if (!metricsPath.empty())
+        std::printf("wrote %s\n", metricsPath.c_str());
 
     return store.countWithStatus(JobStatus::Failed) == 0 ? 0 : 1;
 }

@@ -24,6 +24,8 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "store/store.hh"
 #include "sweepd/service.hh"
 #include "sweepd/worker.hh"
@@ -72,9 +74,16 @@ runSpec(sweepd::SweepdService &service, const std::string &path)
     try {
         spec = SweepSpec::fromFile(path);
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "qcc_sweepd: %s\n", e.what());
+        error(std::string("qcc_sweepd: ") + e.what());
         return 1;
     }
+
+    // Telemetry is per-submission: each spec (including each line
+    // in serve mode) gets its own TRACE_EVENTS/METRICS documents,
+    // and the registry counters line up with exactly this run's
+    // worker-reported totals.
+    clearTrace();
+    resetMetrics();
 
     std::printf("sweep '%s': %zu jobs at concurrency %u\n",
                 spec.name.c_str(), spec.jobCount(),
@@ -97,11 +106,35 @@ runSpec(sweepd::SweepdService &service, const std::string &path)
                 store.writeTo("SWEEP_" + store.name() + ".json");
         if (!written.empty())
             std::printf("wrote %s\n", written.c_str());
+
+        // Ground truth for the merged telemetry: the sum of what
+        // every done worker reported in its reply. The trace-smoke
+        // CI job parses this line and asserts the METRICS document
+        // agrees with it.
+        const sweepd::WorkerStoreStats &w = stats.workers;
+        std::printf("workers: compile_hits=%llu "
+                    "compile_misses=%llu circuit_disk_hits=%llu "
+                    "problem_builds=%llu problem_disk_hits=%llu "
+                    "problem_mem_hits=%llu\n",
+                    (unsigned long long)w.compileHits,
+                    (unsigned long long)w.compileMisses,
+                    (unsigned long long)w.circuitDiskHits,
+                    (unsigned long long)w.problemBuilds,
+                    (unsigned long long)w.problemDiskHits,
+                    (unsigned long long)w.problemMemHits);
+
+        const std::string tracePath = writeTraceJson(store.name());
+        if (!tracePath.empty())
+            std::printf("wrote %s\n", tracePath.c_str());
+        const std::string metricsPath =
+            writeMetricsJson(store.name());
+        if (!metricsPath.empty())
+            std::printf("wrote %s\n", metricsPath.c_str());
         std::fflush(stdout);
         return store.countWithStatus(JobStatus::Failed) == 0 ? 0
                                                              : 1;
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "qcc_sweepd: %s\n", e.what());
+        error(std::string("qcc_sweepd: ") + e.what());
         return 1;
     }
 }

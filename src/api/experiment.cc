@@ -7,6 +7,7 @@
 
 #include "ansatz/compression.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "sim/lanczos.hh"
 #include "sim/sampling.hh"
 #include "store/problem_store.hh"
@@ -480,6 +481,9 @@ experimentKindRegistry()
 ExperimentResult
 Experiment::run() const
 {
+    TraceSpan span("experiment.run");
+    span.arg("kind", resolved.kind);
+    span.arg("molecule", resolved.molecule);
     return experimentKindRegistry().get(resolved.kind)(resolved);
 }
 

@@ -2,12 +2,68 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace qcc {
 
 namespace {
-bool verboseFlag = true;
+
+/** QCC_LOG parse; true when the env pins the level explicitly. */
+bool
+envLogLevel(LogLevel &out)
+{
+    const char *env = std::getenv("QCC_LOG");
+    if (!env || !*env)
+        return false;
+    if (!std::strcmp(env, "quiet") || !std::strcmp(env, "0")) {
+        out = LogLevel::Quiet;
+        return true;
+    }
+    if (!std::strcmp(env, "debug") || !std::strcmp(env, "2")) {
+        out = LogLevel::Debug;
+        return true;
+    }
+    if (!std::strcmp(env, "info") || !std::strcmp(env, "1")) {
+        out = LogLevel::Info;
+        return true;
+    }
+    std::fprintf(stderr, "warn: QCC_LOG=%s not recognized "
+                         "(quiet|info|debug)\n",
+                 env);
+    return false;
 }
+
+/** One env parse per process, shared by pin check and level. */
+struct LevelState
+{
+    LogLevel level = LogLevel::Info;
+    bool pinned = false;
+};
+
+LevelState &
+levelState()
+{
+    static LevelState state = [] {
+        LevelState s;
+        s.pinned = envLogLevel(s.level);
+        return s;
+    }();
+    return state;
+}
+
+bool
+logLevelPinned()
+{
+    return levelState().pinned;
+}
+
+LogLevel &
+logLevelRef()
+{
+    return levelState().level;
+}
+
+} // namespace
 
 void
 fatal(const std::string &msg)
@@ -30,22 +86,52 @@ warn(const std::string &msg)
 }
 
 void
+error(const std::string &msg)
+{
+    std::fprintf(stderr, "error: %s\n", msg.c_str());
+}
+
+void
 inform(const std::string &msg)
 {
-    if (verboseFlag)
+    if (logLevelRef() >= LogLevel::Info)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+debug(const std::string &msg)
+{
+    if (logLevelRef() >= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+LogLevel
+logLevel()
+{
+    return logLevelRef();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    logLevelRef() = level;
 }
 
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    // An explicit QCC_LOG in the environment outranks the legacy
+    // programmatic toggle (benches call setVerbose(false); QCC_LOG
+    // lets the user turn that output back on without a rebuild).
+    if (logLevelPinned())
+        return;
+    logLevelRef() = verbose ? LogLevel::Info : LogLevel::Quiet;
 }
 
 bool
 isVerbose()
 {
-    return verboseFlag;
+    return logLevelRef() >= LogLevel::Info;
 }
 
 std::string

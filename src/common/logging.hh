@@ -28,13 +28,36 @@ namespace qcc {
 /** Print a warning about suspicious but non-fatal conditions. */
 void warn(const std::string &msg);
 
+/** Print a non-fatal error (CLI failure paths that keep going). */
+void error(const std::string &msg);
+
 /** Print an informational status message. */
 void inform(const std::string &msg);
 
-/** Enable/disable inform() output (benches silence it). */
+/** Print a debug-level message (QCC_LOG=debug only). */
+void debug(const std::string &msg);
+
+/**
+ * Output levels, in increasing verbosity. warn()/error() always
+ * print; inform() needs Info, debug() needs Debug. The initial
+ * level comes from QCC_LOG (quiet|info|debug, default info);
+ * setLogLevel()/setVerbose() override it at runtime, except that an
+ * explicit QCC_LOG wins over setVerbose() so a user can force
+ * bench/CI output verbosity from the environment in one place.
+ */
+enum class LogLevel { Quiet = 0, Info = 1, Debug = 2 };
+
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/**
+ * Legacy verbosity switch: maps to Quiet/Info. Kept because benches
+ * and services toggle it; a QCC_LOG set in the environment takes
+ * precedence.
+ */
 void setVerbose(bool verbose);
 
-/** Query verbosity. */
+/** True when inform() output is enabled (level >= Info). */
 bool isVerbose();
 
 /**

@@ -1,13 +1,30 @@
 #include "common/parallel.hh"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace qcc {
+
+namespace {
+
+uint64_t
+nowNs()
+{
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
 
 unsigned
 parallelThreads()
@@ -97,6 +114,8 @@ BoundedExecutor::run(size_t n_tasks,
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n_tasks)
                 return;
+            TraceSpan span("executor.task");
+            span.arg("task", i);
             task(i);
         }
     };
@@ -138,7 +157,16 @@ class ThreadPool
     run(size_t n_chunks, const std::function<void(size_t)> &fn,
         unsigned max_lanes)
     {
+        // Per-job accounting, not per-chunk: two histogram records
+        // per pool job, invisible next to the kernel work a job
+        // represents. queue_wait_us (recorded by the workers) is
+        // the ROADMAP contention probe — how long a submitted job
+        // sat before each worker actually got onto it.
+        static MetricCounter &jobs = metricCounter("parallel.pool_jobs");
+        static MetricHistogram &jobUs =
+            metricHistogram("parallel.job_us");
         std::unique_lock<std::mutex> jobLock(jobMutex);
+        const uint64_t t0 = nowNs();
         {
             std::lock_guard<std::mutex> lk(mtx);
             job = &fn;
@@ -150,6 +178,7 @@ class ThreadPool
                              std::memory_order_relaxed);
             ++generation;
         }
+        submitNs.store(t0, std::memory_order_relaxed);
         cv.notify_all();
         work();
         // Wait for chunks claimed by workers but not yet finished.
@@ -158,6 +187,8 @@ class ThreadPool
             return pendingChunks.load(std::memory_order_acquire) == 0;
         });
         job = nullptr;
+        jobs.add();
+        jobUs.record((nowNs() - t0) / 1000);
     }
 
   private:
@@ -216,6 +247,8 @@ class ThreadPool
     void
     workerLoop()
     {
+        static MetricHistogram &queueWaitUs =
+            metricHistogram("parallel.queue_wait_us");
         insideJob = true; // nested sweeps inside a chunk stay serial
         uint64_t seen = 0;
         for (;;) {
@@ -228,8 +261,17 @@ class ThreadPool
                     return;
                 seen = generation;
             }
-            if (acquireLane())
+            if (acquireLane()) {
+                // Submission-to-lane latency: wakeup plus any time
+                // lost to contention on the pool. One record per
+                // lane win, before the chunk work starts.
+                const uint64_t submitted =
+                    submitNs.load(std::memory_order_relaxed);
+                const uint64_t now = nowNs();
+                queueWaitUs.record(
+                    now > submitted ? (now - submitted) / 1000 : 0);
                 work();
+            }
         }
     }
 
@@ -241,6 +283,7 @@ class ThreadPool
     std::atomic<size_t> nextChunk{0};
     std::atomic<size_t> pendingChunks{0};
     std::atomic<unsigned> laneBudget{0};
+    std::atomic<uint64_t> submitNs{0};
     size_t totalChunks = 0;
     uint64_t generation = 0;
     bool stopping = false;
@@ -261,6 +304,9 @@ poolRun(size_t n_chunks, const std::function<void(size_t)> &chunk_fn)
     // waiting on) the shared pool.
     const unsigned lanes = parallelLanes();
     if (insideJob || lanes <= 1 || n_chunks == 1) {
+        static MetricCounter &inlineJobs =
+            metricCounter("parallel.inline_jobs");
+        inlineJobs.add();
         for (size_t ci = 0; ci < n_chunks; ++ci)
             chunk_fn(ci);
         return;

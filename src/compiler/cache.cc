@@ -3,8 +3,37 @@
 #include <cstdlib>
 
 #include "common/rng.hh"
+#include "obs/metrics.hh"
 
 namespace qcc {
+
+namespace {
+
+/**
+ * Registry mirrors of the hot CacheStats counters, so
+ * METRICS_*.json and cross-process sweepd aggregation see compile
+ * cache behavior without teaching them about CacheStats. The
+ * authoritative per-instance counts stay in CacheStats (bench rows
+ * take deltas from it); these only ever increment.
+ */
+struct CacheMetrics
+{
+    MetricCounter &hits = metricCounter("compile.cache.hits");
+    MetricCounter &misses = metricCounter("compile.cache.misses");
+    MetricCounter &diskHits =
+        metricCounter("compile.cache.disk_hits");
+    MetricCounter &diskStores =
+        metricCounter("compile.cache.disk_stores");
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics m;
+    return m;
+}
+
+} // namespace
 
 uint64_t
 CacheKey::hash() const
@@ -78,6 +107,7 @@ CircuitCache::lookup(const CacheKey &key,
             // Promote into the memory table (no write-back to disk:
             // the entry just came from there).
             insertMemo(key, found);
+            cacheMetrics().diskHits.add();
             std::lock_guard<std::mutex> lock(mtx);
             ++counters.diskHits;
         }
@@ -87,9 +117,11 @@ CircuitCache::lookup(const CacheKey &key,
         std::lock_guard<std::mutex> lock(mtx);
         if (!found) {
             ++counters.misses;
+            cacheMetrics().misses.add();
             return false;
         }
         ++counters.hits;
+        cacheMetrics().hits.add();
         if (!found->rzIndex.empty())
             ++counters.rebinds;
     }
@@ -116,6 +148,7 @@ CircuitCache::insert(const CacheKey &key, CachedCompile entry)
     }
     if (tier && tier->save(key, *sp)) {
         // Write-through ran outside the lock; best effort.
+        cacheMetrics().diskStores.add();
         std::lock_guard<std::mutex> lock(mtx);
         ++counters.diskStores;
     }

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "obs/trace.hh"
 #include "compiler/chain_synthesis.hh"
 #include "compiler/merge_to_root.hh"
 #include "compiler/peephole.hh"
@@ -103,7 +104,6 @@ ensureLogical(CompileState &state)
 void
 PassManager::run(CompileState &state, PipelineReport &report) const
 {
-    using clock = std::chrono::steady_clock;
     for (const auto &pass : sequence) {
         PassStats stats;
         stats.pass = pass->name();
@@ -111,15 +111,21 @@ PassManager::run(CompileState &state, PipelineReport &report) const
         stats.cnotsBefore = state.circuit.cnotCount();
         stats.depthBefore = state.circuit.depth();
 
-        const auto t0 = clock::now();
-        pass->run(state);
-        const auto t1 = clock::now();
-
-        stats.millis =
-            std::chrono::duration<double, std::milli>(t1 - t0).count();
-        stats.gatesAfter = state.circuit.totalGates();
-        stats.cnotsAfter = state.circuit.cnotCount();
-        stats.depthAfter = state.circuit.depth();
+        // The span's clock doubles as the PassStats wall time, so
+        // the tracer replaces the bespoke timing here instead of
+        // running next to it; the PipelineReport JSON shape stays
+        // exactly as before.
+        {
+            TraceSpan span("compile.", stats.pass);
+            pass->run(state);
+            stats.millis = span.elapsedMillis();
+            stats.gatesAfter = state.circuit.totalGates();
+            stats.cnotsAfter = state.circuit.cnotCount();
+            stats.depthAfter = state.circuit.depth();
+            span.arg("gates", stats.gatesAfter);
+            span.arg("cnots", stats.cnotsAfter);
+            span.arg("depth", stats.depthAfter);
+        }
         report.totalMillis += stats.millis;
         report.passes.push_back(std::move(stats));
 
@@ -394,8 +400,8 @@ CompileResult
 CompilerPipeline::compile(const Ansatz &ansatz,
                           const std::vector<double> &params) const
 {
-    using clock = std::chrono::steady_clock;
-    const auto t0 = clock::now();
+    TraceSpan span("compile.pipeline");
+    span.arg("qubits", ansatz.nQubits);
 
     // Validate up front: the cached path reads params[r.param]
     // before any pass (and its own check) would run.
@@ -464,9 +470,9 @@ CompilerPipeline::compile(const Ansatz &ansatz,
     res.finalLayout = state.finalLayout;
     res.swapCount = state.swapCount;
     res.report = std::move(report);
-    res.report.totalMillis =
-        std::chrono::duration<double, std::milli>(clock::now() - t0)
-            .count();
+    span.arg("cache_hit", hit);
+    span.arg("gates", res.circuit.totalGates());
+    res.report.totalMillis = span.elapsedMillis();
     return res;
 }
 

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "pauli/grouping.hh"
 
 namespace qcc {
@@ -117,6 +118,10 @@ SampledEnergy
 SamplingEngine::measureFrom(const ProbabilityFn &probabilities,
                             Rng &rng) const
 {
+    TraceSpan span("sample.measure");
+    span.arg("groups", groups.size());
+    span.arg("shots", opts.shots);
+
     SampledEnergy out;
     out.energy = offset;
 

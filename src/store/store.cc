@@ -1,26 +1,43 @@
 #include "store/store.hh"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
 
+#include "obs/metrics.hh"
+
 namespace qcc {
 
 namespace {
 
+/**
+ * The store counters live in the process-wide metrics registry (so
+ * METRICS_*.json and sweepd aggregation see them for free); this
+ * struct is one-time name resolution, cached because registry
+ * lookup takes a lock and the count*() paths sit next to file IO
+ * but also next to memo hits.
+ */
 struct Counters
 {
-    std::atomic<size_t> circuitDiskHits{0};
-    std::atomic<size_t> circuitDiskMisses{0};
-    std::atomic<size_t> circuitDiskWrites{0};
-    std::atomic<size_t> circuitBadEntries{0};
-    std::atomic<size_t> problemMemHits{0};
-    std::atomic<size_t> problemDiskHits{0};
-    std::atomic<size_t> problemBuilds{0};
-    std::atomic<size_t> problemDiskWrites{0};
-    std::atomic<size_t> problemBadEntries{0};
+    MetricCounter &circuitDiskHits =
+        metricCounter("store.circuit.disk_hits");
+    MetricCounter &circuitDiskMisses =
+        metricCounter("store.circuit.disk_misses");
+    MetricCounter &circuitDiskWrites =
+        metricCounter("store.circuit.disk_writes");
+    MetricCounter &circuitBadEntries =
+        metricCounter("store.circuit.bad_entries");
+    MetricCounter &problemMemHits =
+        metricCounter("store.problem.mem_hits");
+    MetricCounter &problemDiskHits =
+        metricCounter("store.problem.disk_hits");
+    MetricCounter &problemBuilds =
+        metricCounter("store.problem.builds");
+    MetricCounter &problemDiskWrites =
+        metricCounter("store.problem.disk_writes");
+    MetricCounter &problemBadEntries =
+        metricCounter("store.problem.bad_entries");
 };
 
 Counters &
@@ -57,17 +74,25 @@ config()
 StoreStats
 storeStats()
 {
+    // Snapshot in reverse dependency order: a disk write follows
+    // the miss (or bad entry, or build) that caused it in its
+    // thread's program order, and the write increment is a release.
+    // Loading the write counters first (value() is an acquire)
+    // therefore makes every causing increment visible before the
+    // cause counters are read, so a snapshot can never show more
+    // writes than misses — the torn-snapshot case the
+    // store_stats_consistency test pins.
     const Counters &c = counters();
     StoreStats s;
-    s.circuitDiskHits = c.circuitDiskHits.load();
-    s.circuitDiskMisses = c.circuitDiskMisses.load();
-    s.circuitDiskWrites = c.circuitDiskWrites.load();
-    s.circuitBadEntries = c.circuitBadEntries.load();
-    s.problemMemHits = c.problemMemHits.load();
-    s.problemDiskHits = c.problemDiskHits.load();
-    s.problemBuilds = c.problemBuilds.load();
-    s.problemDiskWrites = c.problemDiskWrites.load();
-    s.problemBadEntries = c.problemBadEntries.load();
+    s.circuitDiskWrites = c.circuitDiskWrites.value();
+    s.circuitDiskMisses = c.circuitDiskMisses.value();
+    s.circuitBadEntries = c.circuitBadEntries.value();
+    s.circuitDiskHits = c.circuitDiskHits.value();
+    s.problemDiskWrites = c.problemDiskWrites.value();
+    s.problemBuilds = c.problemBuilds.value();
+    s.problemMemHits = c.problemMemHits.value();
+    s.problemDiskHits = c.problemDiskHits.value();
+    s.problemBadEntries = c.problemBadEntries.value();
     return s;
 }
 
@@ -75,15 +100,15 @@ void
 resetStoreStats()
 {
     Counters &c = counters();
-    c.circuitDiskHits = 0;
-    c.circuitDiskMisses = 0;
-    c.circuitDiskWrites = 0;
-    c.circuitBadEntries = 0;
-    c.problemMemHits = 0;
-    c.problemDiskHits = 0;
-    c.problemBuilds = 0;
-    c.problemDiskWrites = 0;
-    c.problemBadEntries = 0;
+    c.circuitDiskHits.reset();
+    c.circuitDiskMisses.reset();
+    c.circuitDiskWrites.reset();
+    c.circuitBadEntries.reset();
+    c.problemMemHits.reset();
+    c.problemDiskHits.reset();
+    c.problemBuilds.reset();
+    c.problemDiskWrites.reset();
+    c.problemBadEntries.reset();
 }
 
 std::string
@@ -109,15 +134,26 @@ storeStatsJson()
     return buf;
 }
 
-void countCircuitDiskHit() { ++counters().circuitDiskHits; }
-void countCircuitDiskMiss() { ++counters().circuitDiskMisses; }
-void countCircuitDiskWrite() { ++counters().circuitDiskWrites; }
-void countCircuitBadEntry() { ++counters().circuitBadEntries; }
-void countProblemMemHit() { ++counters().problemMemHits; }
-void countProblemDiskHit() { ++counters().problemDiskHits; }
-void countProblemBuild() { ++counters().problemBuilds; }
-void countProblemDiskWrite() { ++counters().problemDiskWrites; }
-void countProblemBadEntry() { ++counters().problemBadEntries; }
+void countCircuitDiskHit() { counters().circuitDiskHits.add(); }
+void countCircuitDiskMiss() { counters().circuitDiskMisses.add(); }
+void countCircuitBadEntry() { counters().circuitBadEntries.add(); }
+void countProblemMemHit() { counters().problemMemHits.add(); }
+void countProblemDiskHit() { counters().problemDiskHits.add(); }
+void countProblemBuild() { counters().problemBuilds.add(); }
+void countProblemBadEntry() { counters().problemBadEntries.add(); }
+
+// The write counters are the dependent side of the snapshot
+// invariants (writes <= misses + bad entries; writes <= builds), so
+// their increment publishes the preceding cause increments — see
+// storeStats().
+void countCircuitDiskWrite()
+{
+    counters().circuitDiskWrites.addRelease();
+}
+void countProblemDiskWrite()
+{
+    counters().problemDiskWrites.addRelease();
+}
 
 std::string
 storeDir()

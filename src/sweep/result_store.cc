@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace qcc {
 
@@ -105,6 +106,9 @@ ResultStore::adoptCompleted(const std::string &prior_doc)
 void
 ResultStore::record(SweepJobRecord r)
 {
+    metricCounter(std::string("sweep.jobs.") +
+                  jobStatusName(r.status))
+        .add();
     std::lock_guard<std::mutex> lock(*mutex);
     const size_t i = r.index;
     if (i < records.size())

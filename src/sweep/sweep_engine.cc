@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "compiler/cache.hh"
+#include "obs/trace.hh"
 #include "store/problem_store.hh"
 
 namespace qcc {
@@ -79,6 +80,10 @@ SweepEngine::runJob(size_t index, ResultStore &store)
     rec.spec = store.jobs()[index].spec;
     rec.specHash = store.jobs()[index].specHash;
 
+    TraceSpan span("sweep.job");
+    span.arg("job", index);
+    span.arg("molecule", rec.spec.molecule);
+
     if (cancelToken.cancelled()) {
         rec.status = JobStatus::Skipped;
     } else {
@@ -135,6 +140,9 @@ SweepEngine::runJob(size_t index, ResultStore &store)
             rec.timeoutKind = TimeoutKind::Soft;
         }
     }
+
+    span.arg("status", jobStatusName(rec.status));
+    span.arg("attempts", rec.attempts);
 
     // Record + progress under one lock so callbacks see a
     // consistent, monotonically growing completed count and never

@@ -57,7 +57,9 @@ decodeJobRequest(const std::string &payload)
 
 std::string
 encodeDoneReply(const ExperimentResult &result,
-                const WorkerStoreStats &store)
+                const WorkerStoreStats &store,
+                const std::string &trace_events,
+                const std::string &metrics)
 {
     char buf[256];
     std::string out = "{\"status\": \"done\",\n\"store\": ";
@@ -80,6 +82,14 @@ encodeDoneReply(const ExperimentResult &result,
     jo.timings = true; // the store drops them when configured to
     jo.trace = false;
     appendTrimmed(out, result.json(jo));
+    if (!trace_events.empty()) {
+        out += ",\n\"trace\": ";
+        out += trace_events;
+    }
+    if (!metrics.empty()) {
+        out += ",\n\"metrics\": ";
+        appendTrimmed(out, metrics);
+    }
     out += "}\n";
     return out;
 }
@@ -115,6 +125,12 @@ decodeReply(const std::string &payload, WorkerReply &out)
         if (!result ||
             !ExperimentResult::fromJsonDom(*result, reply.result))
             return false;
+        if (const JsonValue *trace = doc.find("trace"))
+            if (trace->isArray())
+                reply.trace = *trace;
+        if (const JsonValue *metrics = doc.find("metrics"))
+            if (metrics->isObject())
+                reply.metrics = *metrics;
         if (const JsonValue *store = doc.find("store")) {
             if (!store->isObject())
                 return false;

@@ -32,6 +32,7 @@
 
 #include "api/experiment.hh"
 #include "api/spec.hh"
+#include "common/json.hh"
 
 namespace qcc {
 namespace sweepd {
@@ -67,6 +68,17 @@ struct WorkerReply
     std::string error;     ///< failed: diagnostic
     WorkerStoreStats store;
     ExperimentResult result; ///< valid when done
+    /**
+     * Optional telemetry riders: `trace` is the worker's Chrome
+     * trace-event array (obs/trace traceEventsArrayJson, present
+     * only when the worker ran with QCC_TRACE on), `metrics` its
+     * metrics-registry snapshot (obs/metrics metricsJson). The
+     * service adopts the first into its own trace buffers and
+     * merges the second into its registry, which is what turns a
+     * process-per-job sweep into one coherent timeline.
+     */
+    JsonValue trace;
+    JsonValue metrics;
 };
 
 /** Serialize a job request payload. */
@@ -78,9 +90,15 @@ std::string encodeJobRequest(const JobRequest &request);
  */
 JobRequest decodeJobRequest(const std::string &payload);
 
-/** Serialize a done reply (result without its trace). */
+/**
+ * Serialize a done reply (result without its optimizer trace).
+ * `trace_events` is a Chrome trace-event array document ("" = omit
+ * the member) and `metrics` a metricsJson() document ("" = omit).
+ */
 std::string encodeDoneReply(const ExperimentResult &result,
-                            const WorkerStoreStats &store);
+                            const WorkerStoreStats &store,
+                            const std::string &trace_events = "",
+                            const std::string &metrics = "");
 
 /** Serialize a failed reply. */
 std::string encodeFailedReply(const std::string &error,

@@ -11,6 +11,8 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/subprocess.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sweepd/protocol.hh"
 #include "sweepd/worker.hh"
 
@@ -71,6 +73,10 @@ SweepdService::submit(const SweepSpec &spec, SweepdRunStats *stats)
 
     SweepdRunStats st;
     st.jobs = jobs.size();
+    {
+        std::lock_guard<std::mutex> lock(progressMutex);
+        workerTotals = WorkerStoreStats{};
+    }
 
     if (opts.resume) {
         const std::string priorPath =
@@ -114,13 +120,22 @@ SweepdService::submit(const SweepSpec &spec, SweepdRunStats *stats)
             ? std::max(1u, parallelThreads() / width)
             : 0;
 
-    BoundedExecutor executor(width);
-    executor.run(jobs.size(), [&](size_t i) {
-        runJob(i, store, timeoutMs, maxAttempts, jobWidth);
-    });
+    {
+        TraceSpan span("sweepd.submit");
+        span.arg("jobs", jobs.size());
+        span.arg("width", width);
+        BoundedExecutor executor(width);
+        executor.run(jobs.size(), [&](size_t i) {
+            runJob(i, store, timeoutMs, maxAttempts, jobWidth);
+        });
+    }
 
     st.ran = st.jobs - st.resumed;
     st.writtenPath = store.write();
+    {
+        std::lock_guard<std::mutex> lock(progressMutex);
+        st.workers = workerTotals;
+    }
     if (stats)
         *stats = st;
     return store;
@@ -141,10 +156,18 @@ SweepdService::runJob(size_t index, ResultStore &store,
     rec.specHash = store.jobs()[index].specHash;
     store.markRunning(index);
 
+    TraceSpan span("sweepd.job");
+    span.arg("job", index);
+
     std::vector<std::pair<std::string, std::string>> env;
     if (job_width > 0)
         env.emplace_back("QCC_JOB_WIDTH",
                          std::to_string(job_width));
+    // Tracing state is explicit rather than inherited: a bench (or
+    // test) that flipped setTraceEnabled() programmatically still
+    // gets worker spans, and a traced parent can run an untraced
+    // sweep.
+    env.emplace_back("QCC_TRACE", traceEnabled() ? "1" : "0");
 
     const std::string request =
         encodeJobRequest(JobRequest{rec.spec});
@@ -211,6 +234,30 @@ SweepdService::runJob(size_t index, ResultStore &store,
                 rec.timeoutKind = TimeoutKind::None;
                 rec.result = std::move(reply.result);
                 rec.error.clear();
+                // Fold the worker telemetry into the service: its
+                // span buffer joins this process's timeline (the
+                // events carry the worker pid), its metrics merge
+                // into the registry, and its cache counters land in
+                // the ground-truth totals the registry must match.
+                if (reply.trace.isArray())
+                    adoptTraceEventsDom(reply.trace);
+                if (reply.metrics.isObject())
+                    mergeMetricsDom(reply.metrics);
+                {
+                    std::lock_guard<std::mutex> lock(progressMutex);
+                    workerTotals.compileHits +=
+                        reply.store.compileHits;
+                    workerTotals.compileMisses +=
+                        reply.store.compileMisses;
+                    workerTotals.circuitDiskHits +=
+                        reply.store.circuitDiskHits;
+                    workerTotals.problemBuilds +=
+                        reply.store.problemBuilds;
+                    workerTotals.problemDiskHits +=
+                        reply.store.problemDiskHits;
+                    workerTotals.problemMemHits +=
+                        reply.store.problemMemHits;
+                }
                 break;
             }
             rec.status = JobStatus::Failed;
@@ -229,6 +276,8 @@ SweepdService::runJob(size_t index, ResultStore &store,
                     ")";
     }
     rec.wallMillis = millisSince(t0);
+    span.arg("status", jobStatusName(rec.status));
+    span.arg("attempts", rec.attempts);
 
     landRecord(std::move(rec), store);
 }

@@ -39,6 +39,7 @@
 
 #include "sweep/sweep_engine.hh"
 #include "sweep/sweep_spec.hh"
+#include "sweepd/protocol.hh"
 
 namespace qcc {
 namespace sweepd {
@@ -94,6 +95,12 @@ struct SweepdRunStats
     size_t resumed = 0; ///< adopted from the prior document
     size_t ran = 0;     ///< executed in a worker this run
     std::string writtenPath; ///< final aggregate path ("" if disabled)
+    /**
+     * Sum of the cache counters every done worker reported in its
+     * reply — the ground truth the merged metrics registry (and the
+     * trace-smoke CI cross-check) must agree with.
+     */
+    WorkerStoreStats workers;
 };
 
 /** Process-per-job sweep runner (see file comment). */
@@ -123,6 +130,7 @@ class SweepdService
     SweepdOptions opts;
     std::mutex progressMutex;
     size_t completedJobs = 0;
+    WorkerStoreStats workerTotals; ///< under progressMutex
 };
 
 /**

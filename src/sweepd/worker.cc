@@ -10,6 +10,8 @@
 #include "api/registries.hh"
 #include "common/subprocess.hh"
 #include "compiler/cache.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "store/store.hh"
 #include "sweepd/protocol.hh"
 
@@ -77,7 +79,17 @@ workerMain()
         stats.problemBuilds = ss.problemBuilds;
         stats.problemDiskHits = ss.problemDiskHits;
         stats.problemMemHits = ss.problemMemHits;
-        reply = encodeDoneReply(result, stats);
+
+        // Telemetry riders: the worker's span buffer (only when
+        // tracing is on — the events carry this process's pid, so
+        // the service's merged timeline separates workers) and its
+        // metrics snapshot (always; counters are how the service
+        // cross-checks worker totals without tracing).
+        std::string traceDoc;
+        if (traceEnabled() && traceEventCount())
+            traceDoc = traceEventsArrayJson();
+        reply = encodeDoneReply(result, stats, traceDoc,
+                                metricsJson());
     } catch (const SpecError &e) {
         reply = encodeFailedReply(e.what(), /*fast_fail=*/true);
     } catch (const RegistryError &e) {

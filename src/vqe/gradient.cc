@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "obs/trace.hh"
 #include "compiler/pipeline.hh"
 #include "sim/density_matrix.hh"
 
@@ -92,6 +93,8 @@ ParameterShiftEngine::gradientStatevector(
     const std::vector<double> &params,
     const StateEstimator &estimate) const
 {
+    TraceSpan span("gradient.statevector");
+    span.arg("evaluations", 2 * shiftable.size());
     const std::vector<double> base = baseAngles(params);
     const unsigned n = source->nQubits;
     const size_t dim = size_t{1} << n;
@@ -155,6 +158,8 @@ std::vector<double>
 ParameterShiftEngine::gradientNoisy(
     const std::vector<double> &params, const NoiseModel &noise) const
 {
+    TraceSpan span("gradient.noisy");
+    span.arg("evaluations", 2 * shiftable.size());
     const std::vector<double> base = baseAngles(params);
     const unsigned n = source->nQubits;
 
@@ -256,6 +261,8 @@ ParameterShiftEngine::gradient(const std::vector<double> &params,
                                const BackendFactory &make,
                                const StateEnergyFn &energy) const
 {
+    TraceSpan span("gradient.batch");
+    span.arg("evaluations", 2 * shiftable.size());
     const std::vector<double> base = baseAngles(params);
     const size_t tasks = 2 * shiftable.size();
     std::vector<double> shifted(tasks, 0.0);
